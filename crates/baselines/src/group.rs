@@ -1,0 +1,197 @@
+//! The "group" destination-set predictor cell of Martin et al.
+
+use spcp_sim::{CoreId, CoreSet};
+
+/// Maximum value of a 2-bit train-up counter.
+const TRAIN_UP_MAX: u8 = 3;
+/// The MSB threshold: a core is predicted when its counter ≥ 2.
+const PREDICT_THRESHOLD: u8 = 2;
+/// Roll-over period of the 5-bit train-down counter.
+const ROLLOVER_PERIOD: u8 = 32;
+
+/// One predictor table entry: a 2-bit saturating counter per core plus a
+/// 5-bit roll-over counter that implements gradual train-down (§5.4).
+///
+/// Every training event increments the target's counter and ticks the
+/// roll-over counter; each roll-over decrements *all* counters by one, so
+/// destinations that stop appearing eventually drop out of the predicted
+/// group.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_baselines::GroupEntry;
+/// use spcp_sim::CoreId;
+///
+/// let mut e = GroupEntry::new(16);
+/// e.train_up(CoreId::new(2));
+/// e.train_up(CoreId::new(2));
+/// assert!(e.predicted_set().contains(CoreId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupEntry {
+    counters: Vec<u8>,
+    rollover: u8,
+}
+
+impl GroupEntry {
+    /// Creates an all-zero entry for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        GroupEntry {
+            counters: vec![0; num_cores],
+            rollover: 0,
+        }
+    }
+
+    /// Trains the entry towards `target`: saturating increment of its 2-bit
+    /// counter, plus one train-down tick.
+    pub fn train_up(&mut self, target: CoreId) {
+        let c = &mut self.counters[target.index()];
+        if *c < TRAIN_UP_MAX {
+            *c += 1;
+        }
+        self.tick();
+    }
+
+    /// One train-down tick: advances the 5-bit roll-over counter and, on
+    /// wrap-around, decrements every core counter.
+    fn tick(&mut self) {
+        self.rollover = (self.rollover + 1) % ROLLOVER_PERIOD;
+        if self.rollover == 0 {
+            for c in &mut self.counters {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// The predicted group: cores whose counter has its MSB set.
+    pub fn predicted_set(&self) -> CoreSet {
+        self.counters
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= PREDICT_THRESHOLD)
+            .map(|(i, _)| CoreId::new(i))
+            .collect()
+    }
+
+    /// Raw counter value for `core` (diagnostics).
+    pub fn counter(&self, core: CoreId) -> u8 {
+        self.counters[core.index()]
+    }
+
+    /// The single hottest predicted core (the "owner" policy): the core
+    /// with the highest counter among those above the prediction
+    /// threshold. Ties break toward the lower index for determinism.
+    pub fn predicted_owner(&self) -> Option<CoreId> {
+        self.counters
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= PREDICT_THRESHOLD)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| CoreId::new(i))
+    }
+
+    /// Storage of one entry in bits: 2 bits per core plus the 5-bit
+    /// roll-over counter (tags are accounted by the owning table).
+    pub fn storage_bits(num_cores: usize) -> u64 {
+        2 * num_cores as u64 + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn fresh_entry_predicts_nothing() {
+        let e = GroupEntry::new(16);
+        assert!(e.predicted_set().is_empty());
+    }
+
+    #[test]
+    fn two_trainings_cross_threshold() {
+        let mut e = GroupEntry::new(16);
+        e.train_up(core(4));
+        assert!(e.predicted_set().is_empty());
+        e.train_up(core(4));
+        assert_eq!(e.predicted_set(), CoreSet::single(core(4)));
+    }
+
+    #[test]
+    fn counters_saturate_at_three() {
+        let mut e = GroupEntry::new(16);
+        for _ in 0..10 {
+            e.train_up(core(0));
+        }
+        assert_eq!(e.counter(core(0)), 3);
+    }
+
+    #[test]
+    fn group_accumulates_multiple_cores() {
+        let mut e = GroupEntry::new(16);
+        for c in [1, 5, 9] {
+            e.train_up(core(c));
+            e.train_up(core(c));
+        }
+        let set = e.predicted_set();
+        assert_eq!(set.len(), 3);
+        for c in [1, 5, 9] {
+            assert!(set.contains(core(c)));
+        }
+    }
+
+    #[test]
+    fn rollover_trains_down_inactive_cores() {
+        let mut e = GroupEntry::new(16);
+        // Saturate core 0, then train core 1 exclusively through several
+        // roll-over periods: core 0 must eventually leave the group.
+        e.train_up(core(0));
+        e.train_up(core(0));
+        e.train_up(core(0));
+        for _ in 0..ROLLOVER_PERIOD as usize * 4 {
+            e.train_up(core(1));
+        }
+        assert!(!e.predicted_set().contains(core(0)), "inactive core must decay");
+        assert!(e.predicted_set().contains(core(1)), "active core must persist");
+    }
+
+    #[test]
+    fn active_core_survives_training_down() {
+        let mut e = GroupEntry::new(16);
+        for _ in 0..200 {
+            e.train_up(core(7));
+        }
+        assert_eq!(e.predicted_set(), CoreSet::single(core(7)));
+    }
+
+    #[test]
+    fn predicted_owner_is_hottest_member() {
+        let mut e = GroupEntry::new(16);
+        assert_eq!(e.predicted_owner(), None);
+        e.train_up(core(2));
+        e.train_up(core(2));
+        e.train_up(core(9));
+        e.train_up(core(9));
+        e.train_up(core(9));
+        assert_eq!(e.predicted_owner(), Some(core(9)));
+    }
+
+    #[test]
+    fn predicted_owner_tie_breaks_low_index() {
+        let mut e = GroupEntry::new(16);
+        for c in [4, 11] {
+            e.train_up(core(c));
+            e.train_up(core(c));
+        }
+        assert_eq!(e.predicted_owner(), Some(core(4)));
+    }
+
+    #[test]
+    fn storage_is_37_bits_for_16_cores() {
+        assert_eq!(GroupEntry::storage_bits(16), 37);
+    }
+}

@@ -1,0 +1,48 @@
+//! Comparison predictors: ADDR, INST and UNI (§5.4 of the paper).
+//!
+//! All three follow the **group** destination-set prediction model of
+//! Martin et al. (ISCA 2003), exactly as the paper's comparison study
+//! configures them:
+//!
+//! * each table entry holds one 2-bit saturating *train-up* counter per
+//!   core plus a 5-bit roll-over counter implementing gradual *train-down*;
+//! * the predicted set is every core whose counter has its MSB set;
+//! * entries train on the targets of the core's own misses **and** on
+//!   incoming coherence requests observed at the cache (which reveal the
+//!   requester as a likely future supplier);
+//! * [`AddrPredictor`] indexes entries by 256-byte macroblock,
+//!   [`InstPredictor`] by the static load/store PC, and [`UniPredictor`]
+//!   keeps exactly one entry (pure temporal locality, no index).
+//!
+//! Unlimited and finite-capacity (LRU) table variants support the paper's
+//! Figure 13 space-sensitivity study.
+//!
+//! # Examples
+//!
+//! ```
+//! use spcp_baselines::{AddrPredictor, UniPredictor};
+//! use spcp_core::{AccessKind, MissInfo, PredictionOutcome, TargetPredictor};
+//! use spcp_mem::BlockAddr;
+//! use spcp_sim::{CoreId, CoreSet};
+//!
+//! let mut p = UniPredictor::new(CoreId::new(0), 16);
+//! let miss = MissInfo::new(BlockAddr::from_index(5), 0x40, AccessKind::Read);
+//! let actual = CoreSet::single(CoreId::new(3));
+//! // Two trainings push core 3's 2-bit counter across the MSB threshold.
+//! for _ in 0..2 {
+//!     p.train(&miss, PredictionOutcome { actual, predicted: CoreSet::empty(), sufficient: false });
+//! }
+//! assert!(p.predict(&miss).contains(CoreId::new(3)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod lru;
+pub mod policy;
+pub mod schemes;
+
+pub use group::GroupEntry;
+pub use policy::SetPolicy;
+pub use lru::LruTable;
+pub use schemes::{AddrPredictor, InstPredictor, UniPredictor};

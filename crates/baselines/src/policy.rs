@@ -1,0 +1,70 @@
+//! Destination-set policies (Martin et al.; the paper's §5.4 footnote).
+//!
+//! All predictors in the comparison study use the **group** policy; the
+//! footnote notes that "owner" and "group/owner" policies "can also be used
+//! and fairly compared as far as all predictors are tuned to the same base
+//! policy". These variants trade accuracy for bandwidth:
+//!
+//! * [`SetPolicy::Group`] — predict every trained-up core (high coverage,
+//!   most traffic);
+//! * [`SetPolicy::Owner`] — predict only the hottest core (cheapest, but
+//!   writes with several sharers become insufficient);
+//! * [`SetPolicy::GroupOwner`] — owner for reads (which need exactly one
+//!   supplier), group for writes (which need every sharer).
+
+use spcp_core::AccessKind;
+
+/// How a predictor entry's per-core weights reduce to a predicted set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetPolicy {
+    /// Every core above the training threshold.
+    #[default]
+    Group,
+    /// Only the single hottest core.
+    Owner,
+    /// Owner for reads, group for writes/upgrades.
+    GroupOwner,
+}
+
+impl SetPolicy {
+    /// Whether this policy reduces to the single hottest core for a miss
+    /// of the given kind.
+    pub fn wants_owner_only(self, kind: AccessKind) -> bool {
+        match self {
+            SetPolicy::Group => false,
+            SetPolicy::Owner => true,
+            SetPolicy::GroupOwner => kind == AccessKind::Read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_never_reduces() {
+        for k in [AccessKind::Read, AccessKind::Write, AccessKind::Upgrade] {
+            assert!(!SetPolicy::Group.wants_owner_only(k));
+        }
+    }
+
+    #[test]
+    fn owner_always_reduces() {
+        for k in [AccessKind::Read, AccessKind::Write, AccessKind::Upgrade] {
+            assert!(SetPolicy::Owner.wants_owner_only(k));
+        }
+    }
+
+    #[test]
+    fn group_owner_splits_by_kind() {
+        assert!(SetPolicy::GroupOwner.wants_owner_only(AccessKind::Read));
+        assert!(!SetPolicy::GroupOwner.wants_owner_only(AccessKind::Write));
+        assert!(!SetPolicy::GroupOwner.wants_owner_only(AccessKind::Upgrade));
+    }
+
+    #[test]
+    fn default_is_group() {
+        assert_eq!(SetPolicy::default(), SetPolicy::Group);
+    }
+}

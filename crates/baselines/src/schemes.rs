@@ -1,0 +1,418 @@
+//! The ADDR, INST and UNI predictor schemes.
+
+use crate::group::GroupEntry;
+use crate::lru::LruTable;
+use crate::policy::SetPolicy;
+use spcp_core::{MissInfo, PredictionOutcome, TargetPredictor};
+use spcp_sim::{CoreId, CoreSet};
+
+/// Default ADDR macroblock size (§5.4: 256-byte macroblocks).
+pub const DEFAULT_MACROBLOCK_BYTES: u64 = 256;
+
+fn train_entry(entry: &mut GroupEntry, me: CoreId, targets: CoreSet) {
+    for t in targets.iter() {
+        if t != me {
+            entry.train_up(t);
+        }
+    }
+}
+
+fn predicted(entry: &GroupEntry, me: CoreId, policy: SetPolicy, miss: &MissInfo) -> CoreSet {
+    let mut set = if policy.wants_owner_only(miss.kind) {
+        entry
+            .predicted_owner()
+            .map(CoreSet::single)
+            .unwrap_or(CoreSet::empty())
+    } else {
+        entry.predicted_set()
+    };
+    set.remove(me);
+    set
+}
+
+/// Address-based destination-set predictor, indexed by macroblock.
+///
+/// Expects that misses to (nearby) addresses repeat their communication
+/// behaviour. Trains on the true targets of the core's own misses *and* on
+/// incoming remote requests touching the macroblock (the requester will own
+/// the line next).
+///
+/// # Examples
+///
+/// ```
+/// use spcp_baselines::AddrPredictor;
+/// use spcp_core::TargetPredictor;
+/// use spcp_sim::CoreId;
+///
+/// let p = AddrPredictor::unlimited(CoreId::new(0), 16);
+/// assert_eq!(p.name(), "ADDR");
+/// ```
+#[derive(Debug)]
+pub struct AddrPredictor {
+    me: CoreId,
+    num_cores: usize,
+    macro_bytes: u64,
+    policy: SetPolicy,
+    table: LruTable<u64, GroupEntry>,
+}
+
+impl AddrPredictor {
+    /// An idealized predictor with unbounded table.
+    pub fn unlimited(me: CoreId, num_cores: usize) -> Self {
+        Self::with_capacity(me, num_cores, None, DEFAULT_MACROBLOCK_BYTES)
+    }
+
+    /// A finite predictor with `entries` table entries and the given
+    /// macroblock size.
+    pub fn with_capacity(
+        me: CoreId,
+        num_cores: usize,
+        entries: Option<usize>,
+        macro_bytes: u64,
+    ) -> Self {
+        AddrPredictor {
+            me,
+            num_cores,
+            macro_bytes,
+            policy: SetPolicy::Group,
+            table: LruTable::new(entries),
+        }
+    }
+
+    /// Selects the destination-set policy (default: group).
+    pub fn set_policy(mut self, policy: SetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn key(&self, miss: &MissInfo) -> u64 {
+        miss.block.macro_block(self.macro_bytes).index()
+    }
+
+    /// Number of resident table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl TargetPredictor for AddrPredictor {
+    fn name(&self) -> &'static str {
+        "ADDR"
+    }
+
+    fn predict(&mut self, miss: &MissInfo) -> CoreSet {
+        let key = self.key(miss);
+        let me = self.me;
+        let policy = self.policy;
+        self.table
+            .get_mut(&key)
+            .map(|e| predicted(e, me, policy, miss))
+            .unwrap_or(CoreSet::empty())
+    }
+
+    fn train(&mut self, miss: &MissInfo, outcome: PredictionOutcome) {
+        if outcome.actual.is_empty() {
+            return;
+        }
+        let key = self.key(miss);
+        let n = self.num_cores;
+        let me = self.me;
+        let entry = self.table.get_or_insert_with(key, || GroupEntry::new(n));
+        train_entry(entry, me, outcome.actual);
+    }
+
+    fn observe_remote_request(&mut self, miss: &MissInfo, requester: CoreId) {
+        let key = self.key(miss);
+        let n = self.num_cores;
+        let me = self.me;
+        let entry = self.table.get_or_insert_with(key, || GroupEntry::new(n));
+        if requester != me {
+            entry.train_up(requester);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Per entry: group cell + 32-bit tag.
+        self.table.len() as u64 * (GroupEntry::storage_bits(self.num_cores) + 32)
+    }
+}
+
+/// Instruction-based destination-set predictor, indexed by the static
+/// load/store PC.
+#[derive(Debug)]
+pub struct InstPredictor {
+    me: CoreId,
+    num_cores: usize,
+    policy: SetPolicy,
+    table: LruTable<u32, GroupEntry>,
+}
+
+impl InstPredictor {
+    /// An idealized predictor with unbounded table.
+    pub fn unlimited(me: CoreId, num_cores: usize) -> Self {
+        Self::with_capacity(me, num_cores, None)
+    }
+
+    /// A finite predictor with `entries` table entries.
+    pub fn with_capacity(me: CoreId, num_cores: usize, entries: Option<usize>) -> Self {
+        InstPredictor {
+            me,
+            num_cores,
+            policy: SetPolicy::Group,
+            table: LruTable::new(entries),
+        }
+    }
+
+    /// Selects the destination-set policy (default: group).
+    pub fn set_policy(mut self, policy: SetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of resident table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl TargetPredictor for InstPredictor {
+    fn name(&self) -> &'static str {
+        "INST"
+    }
+
+    fn predict(&mut self, miss: &MissInfo) -> CoreSet {
+        let me = self.me;
+        let policy = self.policy;
+        self.table
+            .get_mut(&miss.pc)
+            .map(|e| predicted(e, me, policy, miss))
+            .unwrap_or(CoreSet::empty())
+    }
+
+    fn train(&mut self, miss: &MissInfo, outcome: PredictionOutcome) {
+        if outcome.actual.is_empty() {
+            return;
+        }
+        let n = self.num_cores;
+        let me = self.me;
+        let entry = self.table.get_or_insert_with(miss.pc, || GroupEntry::new(n));
+        train_entry(entry, me, outcome.actual);
+    }
+
+    fn observe_remote_request(&mut self, miss: &MissInfo, requester: CoreId) {
+        // The remote requester's PC is not visible at this cache; INST
+        // trains the entry of the *local* instruction that last touched the
+        // block. The comparison model approximates this by training the
+        // entry indexed by the request's carried PC when present (our
+        // simulator forwards the requesting instruction's PC in the probe).
+        let n = self.num_cores;
+        let me = self.me;
+        let entry = self.table.get_or_insert_with(miss.pc, || GroupEntry::new(n));
+        if requester != me {
+            entry.train_up(requester);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * (GroupEntry::storage_bits(self.num_cores) + 32)
+    }
+}
+
+/// The index-free locality predictor: one global entry trained on the
+/// targets of this core's previous misses.
+///
+/// Represents the cheapest possible scheme (a single register file), the
+/// "UNI" point of Figures 12–13.
+#[derive(Debug)]
+pub struct UniPredictor {
+    me: CoreId,
+    num_cores: usize,
+    policy: SetPolicy,
+    entry: GroupEntry,
+}
+
+impl UniPredictor {
+    /// Creates the single-entry predictor.
+    pub fn new(me: CoreId, num_cores: usize) -> Self {
+        UniPredictor {
+            me,
+            num_cores,
+            policy: SetPolicy::Group,
+            entry: GroupEntry::new(num_cores),
+        }
+    }
+
+    /// Selects the destination-set policy (default: group).
+    pub fn set_policy(mut self, policy: SetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl TargetPredictor for UniPredictor {
+    fn name(&self) -> &'static str {
+        "UNI"
+    }
+
+    fn predict(&mut self, miss: &MissInfo) -> CoreSet {
+        predicted(&self.entry, self.me, self.policy, miss)
+    }
+
+    fn train(&mut self, _miss: &MissInfo, outcome: PredictionOutcome) {
+        // UNI trains only on the core's own coherence responses.
+        train_entry(&mut self.entry, self.me, outcome.actual);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        GroupEntry::storage_bits(self.num_cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_core::AccessKind;
+    use spcp_mem::BlockAddr;
+
+    fn miss(block: u64, pc: u32) -> MissInfo {
+        MissInfo::new(BlockAddr::from_index(block), pc, AccessKind::Read)
+    }
+
+    fn out(actual_bits: u64) -> PredictionOutcome {
+        PredictionOutcome {
+            actual: CoreSet::from_bits(actual_bits),
+            predicted: CoreSet::empty(),
+            sufficient: false,
+        }
+    }
+
+    #[test]
+    fn addr_learns_per_macroblock() {
+        let mut p = AddrPredictor::unlimited(CoreId::new(0), 16);
+        // Blocks 0..3 share macroblock 0 (256 B); block 100 does not.
+        p.train(&miss(0, 1), out(0b100));
+        p.train(&miss(1, 1), out(0b100));
+        assert!(p.predict(&miss(3, 2)).contains(CoreId::new(2)), "same macroblock");
+        assert!(p.predict(&miss(100, 2)).is_empty(), "different macroblock");
+    }
+
+    #[test]
+    fn addr_spatial_locality_shares_training() {
+        let mut p = AddrPredictor::unlimited(CoreId::new(0), 16);
+        // Adjacent blocks each trained once still cross the 2-training
+        // threshold because they alias to one macroblock entry.
+        p.train(&miss(0, 1), out(0b10));
+        p.train(&miss(1, 1), out(0b10));
+        assert_eq!(p.predict(&miss(2, 1)), CoreSet::from_bits(0b10));
+    }
+
+    #[test]
+    fn addr_remote_request_trains_requester() {
+        let mut p = AddrPredictor::unlimited(CoreId::new(0), 16);
+        p.observe_remote_request(&miss(0, 0), CoreId::new(9));
+        p.observe_remote_request(&miss(0, 0), CoreId::new(9));
+        assert!(p.predict(&miss(1, 0)).contains(CoreId::new(9)));
+    }
+
+    #[test]
+    fn addr_finite_capacity_evicts() {
+        let mut p = AddrPredictor::with_capacity(CoreId::new(0), 16, Some(2), 256);
+        for mb in 0..3u64 {
+            let b = mb * 4; // distinct macroblocks
+            p.train(&miss(b, 1), out(0b10));
+            p.train(&miss(b, 1), out(0b10));
+        }
+        assert_eq!(p.entries(), 2);
+        assert!(p.predict(&miss(0, 1)).is_empty(), "first macroblock evicted");
+    }
+
+    #[test]
+    fn inst_learns_per_pc() {
+        let mut p = InstPredictor::unlimited(CoreId::new(0), 16);
+        p.train(&miss(0, 0x40), out(0b1000));
+        p.train(&miss(50, 0x40), out(0b1000));
+        assert!(p.predict(&miss(999, 0x40)).contains(CoreId::new(3)), "same pc");
+        assert!(p.predict(&miss(0, 0x44)).is_empty(), "different pc");
+    }
+
+    #[test]
+    fn inst_storage_smaller_than_addr_for_few_pcs() {
+        let mut addr = AddrPredictor::unlimited(CoreId::new(0), 16);
+        let mut inst = InstPredictor::unlimited(CoreId::new(0), 16);
+        // One static instruction touches 64 distinct macroblocks.
+        for b in 0..256u64 {
+            addr.train(&miss(b, 0x40), out(0b10));
+            inst.train(&miss(b, 0x40), out(0b10));
+        }
+        assert!(inst.storage_bits() < addr.storage_bits());
+    }
+
+    #[test]
+    fn uni_predicts_recent_targets_regardless_of_index() {
+        let mut p = UniPredictor::new(CoreId::new(0), 16);
+        p.train(&miss(0, 0), out(0b100));
+        p.train(&miss(77, 123), out(0b100));
+        assert!(p.predict(&miss(5000, 9)).contains(CoreId::new(2)));
+    }
+
+    #[test]
+    fn uni_adapts_away_from_stale_targets() {
+        let mut p = UniPredictor::new(CoreId::new(0), 16);
+        p.train(&miss(0, 0), out(0b10));
+        p.train(&miss(0, 0), out(0b10));
+        for _ in 0..200 {
+            p.train(&miss(0, 0), out(0b1000));
+        }
+        let set = p.predict(&miss(0, 0));
+        assert!(set.contains(CoreId::new(3)));
+        assert!(!set.contains(CoreId::new(1)), "stale target must decay");
+    }
+
+    #[test]
+    fn none_of_the_schemes_predict_self() {
+        let me = CoreId::new(2);
+        let mut a = AddrPredictor::unlimited(me, 16);
+        let mut i = InstPredictor::unlimited(me, 16);
+        let mut u = UniPredictor::new(me, 16);
+        for p in [&mut a as &mut dyn TargetPredictor, &mut i, &mut u] {
+            p.train(&miss(0, 1), out(0b100)); // bit 2 = self
+            p.train(&miss(0, 1), out(0b100));
+            assert!(!p.predict(&miss(0, 1)).contains(me), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn non_communicating_misses_do_not_train_tables() {
+        let mut p = AddrPredictor::unlimited(CoreId::new(0), 16);
+        p.train(&miss(0, 1), out(0));
+        assert_eq!(p.entries(), 0);
+    }
+
+    #[test]
+    fn owner_policy_predicts_single_hottest() {
+        let mut p = AddrPredictor::unlimited(CoreId::new(0), 16).set_policy(SetPolicy::Owner);
+        p.train(&miss(0, 1), out(0b0110)); // cores 1 and 2
+        p.train(&miss(0, 1), out(0b0110));
+        p.train(&miss(0, 1), out(0b0100)); // core 2 pulls ahead
+        let set = p.predict(&miss(0, 1));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(CoreId::new(2)));
+    }
+
+    #[test]
+    fn group_owner_policy_splits_reads_and_writes() {
+        let mut p = InstPredictor::unlimited(CoreId::new(0), 16).set_policy(SetPolicy::GroupOwner);
+        p.train(&miss(0, 0x40), out(0b0110));
+        p.train(&miss(0, 0x40), out(0b0110));
+        let read = MissInfo::new(BlockAddr::from_index(0), 0x40, AccessKind::Read);
+        let write = MissInfo::new(BlockAddr::from_index(0), 0x40, AccessKind::Write);
+        assert_eq!(p.predict(&read).len(), 1, "reads use the owner policy");
+        assert_eq!(p.predict(&write).len(), 2, "writes use the group policy");
+    }
+
+    #[test]
+    fn uni_storage_is_single_cell() {
+        let p = UniPredictor::new(CoreId::new(0), 16);
+        assert_eq!(p.storage_bits(), 37);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion end-to-end benchmarks: whole-machine simulation throughput
+//! per protocol, plus the ablation sweeps of DESIGN.md §5 measured as
+//! accuracy-vs-time trade-offs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use spcp_core::SpConfig;
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_workloads::suite;
+
+fn bench_protocols(c: &mut Criterion) {
+    let workload = suite::x264().generate(16, 7);
+    let machine = MachineConfig::paper_16core();
+    let mut g = c.benchmark_group("full_run_x264");
+    g.sample_size(10);
+    for (label, proto) in [
+        ("directory", ProtocolKind::Directory),
+        ("broadcast", ProtocolKind::Broadcast),
+        ("sp", ProtocolKind::Predicted(PredictorKind::sp_default())),
+        (
+            "addr",
+            ProtocolKind::Predicted(PredictorKind::Addr {
+                entries: None,
+                macroblock_bytes: 256,
+            }),
+        ),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(CmpSystem::run_workload(
+                    &workload,
+                    &RunConfig::new(machine.clone(), proto.clone()),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sp_ablations(c: &mut Criterion) {
+    let workload = suite::ferret().generate(16, 7);
+    let machine = MachineConfig::paper_16core();
+    let mut g = c.benchmark_group("ablation_ferret");
+    g.sample_size(10);
+    let configs = [
+        ("default", SpConfig::default()),
+        ("d1", SpConfig { history_depth: 1, ..SpConfig::default() }),
+        ("no_stride2", SpConfig { stride2_detection: false, ..SpConfig::default() }),
+        ("th20", SpConfig { hot_threshold: 0.20, ..SpConfig::default() }),
+        ("capped_hot4", SpConfig { max_hot_set: Some(4), ..SpConfig::default() }),
+    ];
+    for (label, cfg) in configs {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(CmpSystem::run_workload(
+                    &workload,
+                    &RunConfig::new(
+                        machine.clone(),
+                        ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
+                    ),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(20);
+    for name in ["x264", "radiosity"] {
+        let spec = suite::by_name(name).expect("known");
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(spec.generate(16, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_sp_ablations, bench_workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: destination-set policies (group vs owner vs group/owner, the
+//! §5.4 footnote) for the comparison predictors, plus SP's hot-set size
+//! bound as its equivalent knob.
+
+use spcp_bench::{header, mean, CORES, SEED};
+use spcp_baselines::SetPolicy;
+use spcp_core::SpConfig;
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_workloads::suite;
+
+const BENCHES: [&str; 4] = ["fmm", "ocean", "water-ns", "dedup"];
+
+fn sweep(label: &str, kind: PredictorKind, policy: SetPolicy) {
+    let mut accs = Vec::new();
+    let mut bws = Vec::new();
+    for name in BENCHES {
+        let spec = suite::by_name(name).expect("known benchmark");
+        let w = spec.generate(CORES, SEED);
+        let machine = MachineConfig::paper_16core();
+        let dir = CmpSystem::run_workload(
+            &w,
+            &RunConfig::new(machine.clone(), ProtocolKind::Directory),
+        );
+        let s = CmpSystem::run_workload(
+            &w,
+            &RunConfig::new(machine, ProtocolKind::Predicted(kind.clone()))
+                .with_set_policy(policy),
+        );
+        accs.push(s.accuracy() * 100.0);
+        bws.push((s.bandwidth() as f64 - dir.bandwidth() as f64) / dir.bandwidth() as f64 * 100.0);
+    }
+    println!(
+        "{:<30} accuracy {:>5.1}%   +bandwidth {:>5.1}%",
+        label,
+        mean(accs),
+        mean(bws)
+    );
+}
+
+fn main() {
+    header(
+        "Ablation: destination-set policies (§5.4 footnote)",
+        "group vs owner vs group/owner, 4-benchmark averages",
+    );
+    let addr = PredictorKind::Addr {
+        entries: None,
+        macroblock_bytes: 256,
+    };
+    let inst = PredictorKind::Inst { entries: None };
+
+    for (name, kind) in [("ADDR", addr), ("INST", inst), ("UNI", PredictorKind::Uni)] {
+        println!("\n{name}:");
+        for (plabel, policy) in [
+            ("group", SetPolicy::Group),
+            ("owner", SetPolicy::Owner),
+            ("group/owner", SetPolicy::GroupOwner),
+        ] {
+            sweep(&format!("  {plabel}"), kind.clone(), policy);
+        }
+    }
+
+    println!("\nSP (hot-set size bound as the equivalent knob):");
+    for (label, cap) in [("group (unbounded)", None), ("owner-like (cap 1)", Some(1))] {
+        sweep(
+            &format!("  {label}"),
+            PredictorKind::Sp(SpConfig {
+                max_hot_set: cap,
+                ..SpConfig::default()
+            }),
+            SetPolicy::Group,
+        );
+    }
+
+    println!("----------------------------------------------------------------");
+    println!("Expected (Martin et al. / §5.4): owner policies trade accuracy on");
+    println!("multi-target writes for lower bandwidth; group/owner recovers most");
+    println!("accuracy at intermediate cost.");
+}

@@ -1,0 +1,110 @@
+//! Ablation sweeps for SP-prediction's design choices (DESIGN.md §5):
+//! hot-set threshold, history depth, stride-2 detection, confidence width,
+//! lock-entry sharing, and ADDR macroblock size.
+
+use spcp_bench::{header, mean, run};
+use spcp_core::SpConfig;
+use spcp_system::{PredictorKind, ProtocolKind, RunStats};
+use spcp_workloads::suite;
+
+/// A representative subset covering stable, repetitive, lock-heavy and
+/// random behaviours.
+const BENCHES: [&str; 5] = ["fmm", "ocean", "water-ns", "streamcluster", "dedup"];
+
+fn sweep(label: &str, cfg: SpConfig) {
+    let mut accs = Vec::new();
+    let mut bws = Vec::new();
+    for name in BENCHES {
+        let spec = suite::by_name(name).expect("known benchmark");
+        let dir = run(&spec, ProtocolKind::Directory, false);
+        let s: RunStats = run(
+            &spec,
+            ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
+            false,
+        );
+        accs.push(s.accuracy() * 100.0);
+        bws.push((s.bandwidth() as f64 - dir.bandwidth() as f64) / dir.bandwidth() as f64 * 100.0);
+    }
+    println!(
+        "{:<44} accuracy {:>5.1}%   +bandwidth {:>5.1}%",
+        label,
+        mean(accs),
+        mean(bws)
+    );
+}
+
+fn main() {
+    header(
+        "Ablations",
+        "SP-prediction design-choice sweeps (5-benchmark averages)",
+    );
+
+    println!("\nhot-set extraction threshold:");
+    for th in [0.05, 0.10, 0.20] {
+        sweep(
+            &format!("  threshold = {th:.2}"),
+            SpConfig { hot_threshold: th, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nhot-set size bound:");
+    for cap in [None, Some(4), Some(2), Some(1)] {
+        sweep(
+            &format!("  max hot set = {cap:?}"),
+            SpConfig { max_hot_set: cap, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nhistory depth d:");
+    for d in [1usize, 2, 4] {
+        sweep(
+            &format!("  d = {d}"),
+            SpConfig { history_depth: d, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nstride-2 pattern detection:");
+    for on in [true, false] {
+        sweep(
+            &format!("  stride2 = {on}"),
+            SpConfig { stride2_detection: on, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nconfidence counter width:");
+    for bits in [2, 4, 6] {
+        sweep(
+            &format!("  confidence bits = {bits}"),
+            SpConfig { confidence_bits: bits, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nwarm-up misses before d=0 extraction:");
+    for w in [10, 30, 100] {
+        sweep(
+            &format!("  warmup = {w}"),
+            SpConfig { warmup_misses: w, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nSP-table organization (§4.6: fully- vs set-associative):");
+    for (label, geom) in [
+        ("fully associative", None),
+        ("16 sets x 2 ways", Some((16usize, 2usize))),
+        ("8 sets x 2 ways", Some((8, 2))),
+        ("4 sets x 1 way", Some((4, 1))),
+    ] {
+        sweep(
+            &format!("  {label}"),
+            SpConfig { table_sets_ways: geom, ..SpConfig::default() },
+        );
+    }
+
+    println!("\nlock prediction unions the preceding epoch's signature:");
+    for on in [false, true] {
+        sweep(
+            &format!("  lock_union_preceding = {on}"),
+            SpConfig { lock_union_preceding: on, ..SpConfig::default() },
+        );
+    }
+}

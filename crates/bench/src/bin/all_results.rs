@@ -1,0 +1,65 @@
+//! Batch runner: every benchmark × every protocol, emitted as CSV for
+//! downstream plotting (`cargo run -p spcp-bench --release --bin
+//! all_results > results.csv`).
+
+use spcp_bench::{run, CORES, SEED};
+use spcp_system::{PredictorKind, ProtocolKind};
+use spcp_workloads::suite;
+
+fn protocols() -> Vec<(&'static str, ProtocolKind)> {
+    vec![
+        ("directory", ProtocolKind::Directory),
+        ("broadcast", ProtocolKind::Broadcast),
+        ("sp", ProtocolKind::Predicted(PredictorKind::sp_default())),
+        (
+            "addr",
+            ProtocolKind::Predicted(PredictorKind::Addr {
+                entries: None,
+                macroblock_bytes: 256,
+            }),
+        ),
+        ("inst", ProtocolKind::Predicted(PredictorKind::Inst { entries: None })),
+        ("uni", ProtocolKind::Predicted(PredictorKind::Uni)),
+        (
+            "multicast",
+            ProtocolKind::MulticastSnoop(PredictorKind::sp_default()),
+        ),
+    ]
+}
+
+fn main() {
+    println!(
+        "benchmark,protocol,seed,cores,exec_cycles,l2_misses,comm_misses,noncomm_misses,\
+         miss_latency_mean,comm_miss_latency_mean,byte_hops,ctrl_byte_hops,energy,\
+         snoop_probes,predictions,pred_sufficient_comm,indirections,accuracy,\
+         mean_predicted_set,predictor_storage_bits"
+    );
+    for spec in suite::all() {
+        for (label, proto) in protocols() {
+            let s = run(&spec, proto, false);
+            println!(
+                "{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{:.3},{},{},{},{},{:.6},{:.3},{}",
+                s.benchmark,
+                label,
+                SEED,
+                CORES,
+                s.exec_cycles,
+                s.l2_misses,
+                s.comm_misses,
+                s.noncomm_misses,
+                s.miss_latency.mean(),
+                s.comm_miss_latency.mean(),
+                s.noc.byte_hops,
+                s.noc.ctrl_byte_hops,
+                s.energy(),
+                s.snoop_probes,
+                s.predictions,
+                s.pred_sufficient_comm,
+                s.indirections,
+                s.accuracy(),
+                s.mean_predicted_set(),
+                s.predictor_storage_bits,
+            );
+        }
+    }
+}

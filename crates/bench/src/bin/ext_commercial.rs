@@ -1,0 +1,88 @@
+//! Extension: the §5.5 commercial-workload projection. Database/server/OS
+//! workloads are dominated by lock synchronization with irregular
+//! communication; the paper projects SP-prediction still works because the
+//! lock entries retrieve the recent-holder sequence. This harness builds a
+//! lock-dominated "transaction processing" model and measures exactly the
+//! critical-section prediction behaviour.
+
+use spcp_bench::{header, CORES, SEED};
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_workloads::{BenchmarkSpec, CsSpec, EpochSpec, Phase, SharingPattern};
+
+/// A lock-heavy OLTP-like model: almost all sharing happens inside
+/// critical sections on contended row/page locks; barriers are rare
+/// (checkpoint boundaries); partners are irregular.
+fn oltp() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "oltp-proj",
+        phases: vec![Phase::new(
+            vec![
+                // "Transactions": many short critical sections over a pool
+                // of hot locks, a little random read sharing, lots of
+                // private buffer traffic.
+                EpochSpec::new(1, SharingPattern::Random)
+                    .traffic(8, 8)
+                    .private(40)
+                    .critical_sections(CsSpec {
+                        lock_base: 0,
+                        num_locks: 12,
+                        sections: 6,
+                        accesses: 8,
+                    }),
+                // "Log flush": one global lock everyone contends on.
+                EpochSpec::new(2, SharingPattern::PrivateOnly)
+                    .traffic(0, 0)
+                    .private(16)
+                    .critical_sections(CsSpec {
+                        lock_base: 12,
+                        num_locks: 1,
+                        sections: 2,
+                        accesses: 10,
+                    }),
+            ],
+            12,
+        )],
+        seed_salt: 0x01fb,
+        paper_comm_ratio: 0.55,
+    }
+}
+
+fn main() {
+    header(
+        "Extension: commercial-workload projection (§5.5)",
+        "SP-prediction on a lock-dominated OLTP-like model",
+    );
+    let spec = oltp();
+    let w = spec.generate(CORES, SEED);
+    let machine = MachineConfig::paper_16core();
+    let dir = CmpSystem::run_workload(&w, &RunConfig::new(machine.clone(), ProtocolKind::Directory));
+    let sp = CmpSystem::run_workload(
+        &w,
+        &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+    );
+    let s = sp.sp.expect("SP stats");
+    let comm = sp.comm_misses.max(1) as f64;
+    println!("communicating misses:        {:.1}%", dir.comm_ratio() * 100.0);
+    println!("overall SP accuracy:         {:.1}%", sp.accuracy() * 100.0);
+    println!(
+        "  via lock-holder history:   {:.1}% of communicating misses",
+        s.correct_lock as f64 / comm * 100.0
+    );
+    println!(
+        "  via epoch history:         {:.1}%",
+        s.correct_history as f64 / comm * 100.0
+    );
+    println!(
+        "  via recovery:              {:.1}%",
+        s.correct_recovery as f64 / comm * 100.0
+    );
+    println!(
+        "miss latency vs directory:   {:+.1}%",
+        (sp.miss_latency.mean() / dir.miss_latency.mean() - 1.0) * 100.0
+    );
+    println!("----------------------------------------------------------------");
+    println!("The paper's projection: lock-point signatures (the sequence of");
+    println!("recent holders) keep prediction effective even when the");
+    println!("communication pattern itself is irregular. A substantial");
+    println!("lock-history stack above confirms the mechanism.");
+}

@@ -1,0 +1,49 @@
+//! Extension: hardware vs software SP-table (§4.6). A software table traps
+//! to the OS on every sync-point; the paper argues the choice "has no
+//! significant performance implications" for coarse-grain synchronization
+//! but that hardware is preferable when epochs are short (fine-grain
+//! locking). This harness sweeps the per-sync trap cost.
+
+use spcp_bench::{header, CORES, SEED};
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_workloads::suite;
+
+fn main() {
+    header(
+        "Extension: software SP-table (§4.6)",
+        "Execution-time cost of trapping on every sync-point",
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}   (exec time vs hardware table)",
+        "benchmark", "trap=100", "trap=300", "trap=1000"
+    );
+    for name in ["facesim", "fft", "water-ns", "fluidanimate", "radiosity"] {
+        let spec = suite::by_name(name).expect("known benchmark");
+        let w = spec.generate(CORES, SEED);
+        let base = CmpSystem::run_workload(
+            &w,
+            &RunConfig::new(
+                MachineConfig::paper_16core(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
+        );
+        let mut row = format!("{name:<14}");
+        for trap in [100u64, 300, 1000] {
+            let mut machine = MachineConfig::paper_16core();
+            machine.sync_trap_cost = trap;
+            let s = CmpSystem::run_workload(
+                &w,
+                &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+            );
+            row.push_str(&format!(
+                " {:>11.1}%",
+                (s.exec_cycles as f64 / base.exec_cycles as f64 - 1.0) * 100.0
+            ));
+        }
+        println!("{row}");
+    }
+    println!("----------------------------------------------------------------");
+    println!("Fine-grain-locking benchmarks (water-ns, fluidanimate, radiosity)");
+    println!("pay the most — matching §4.6's guidance that a hardware table is");
+    println!("appropriate when sync-epochs are short.");
+}

@@ -1,0 +1,42 @@
+//! Figure 10: execution time of directory, broadcast and SP-prediction,
+//! normalized to the directory protocol.
+
+use spcp_bench::{header, mean, run_suite};
+use spcp_system::{PredictorKind, ProtocolKind};
+
+fn main() {
+    header("Figure 10", "Execution time (normalized to base directory)");
+    let dir = run_suite(ProtocolKind::Directory, false);
+    let bc = run_suite(ProtocolKind::Broadcast, false);
+    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "directory", "broadcast", "SP"
+    );
+    let mut bc_n = Vec::new();
+    let mut sp_n = Vec::new();
+    let mut best = ("", 1.0f64);
+    for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
+        let base = d.exec_cycles as f64;
+        let nb = b.exec_cycles as f64 / base;
+        let ns = s.exec_cycles as f64 / base;
+        bc_n.push(nb);
+        sp_n.push(ns);
+        if ns < best.1 {
+            best = (&d.benchmark, ns);
+        }
+        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", d.benchmark, 1.0, nb, ns);
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+        "average", 1.0, mean(bc_n), mean(sp_n.clone())
+    );
+    println!(
+        "SP improves execution time by {:.1}% on average (paper: 7%);\n\
+         best case {} at {:.1}% (paper: x264 at 14%)",
+        (1.0 - mean(sp_n)) * 100.0,
+        best.0,
+        (1.0 - best.1) * 100.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 11: dynamic energy consumed on the NoC and L2 snoop lookups,
+//! normalized to the directory protocol.
+
+use spcp_bench::{header, mean, run_suite};
+use spcp_system::{PredictorKind, ProtocolKind};
+
+fn main() {
+    header("Figure 11", "Energy on NoC + cache snoops (normalized to base directory)");
+    let dir = run_suite(ProtocolKind::Directory, false);
+    let bc = run_suite(ProtocolKind::Broadcast, false);
+    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "directory", "broadcast", "SP"
+    );
+    let mut bc_n = Vec::new();
+    let mut sp_n = Vec::new();
+    for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
+        let base = d.energy();
+        let nb = b.energy() / base;
+        let ns = s.energy() / base;
+        bc_n.push(nb);
+        sp_n.push(ns);
+        println!("{:<14} {:>10.2} {:>10.2} {:>10.2}", d.benchmark, 1.0, nb, ns);
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<14} {:>10.2} {:>10.2} {:>10.2}",
+        "average", 1.0, mean(bc_n.clone()), mean(sp_n.clone())
+    );
+    println!(
+        "SP adds {:.0}% energy (paper: +25%), broadcast {:.1}x (paper: 2.4x)",
+        (mean(sp_n) - 1.0) * 100.0,
+        mean(bc_n)
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 1: ratio of communicating vs non-communicating misses.
+
+use spcp_bench::{bar, header, mean, run_suite};
+use spcp_system::ProtocolKind;
+
+fn main() {
+    header(
+        "Figure 1",
+        "Ratio of communicating misses (baseline directory protocol)",
+    );
+    println!(
+        "{:<14} {:>10} {:>10}  communicating-miss ratio",
+        "benchmark", "measured", "paper"
+    );
+    let stats = run_suite(ProtocolKind::Directory, false);
+    let specs = spcp_workloads::suite::all();
+    for (s, spec) in stats.iter().zip(&specs) {
+        println!(
+            "{:<14} {:>9.1}% {:>9.1}%  {}",
+            s.benchmark,
+            s.comm_ratio() * 100.0,
+            spec.paper_comm_ratio * 100.0,
+            bar(s.comm_ratio(), 40)
+        );
+    }
+    let avg = mean(stats.iter().map(|s| s.comm_ratio()));
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<14} {:>9.1}%      62.0%   (paper reports 62% on average)",
+        "average",
+        avg * 100.0,
+    );
+}

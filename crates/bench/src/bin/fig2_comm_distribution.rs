@@ -1,0 +1,65 @@
+//! Figure 2: communication distribution of core 0 in bodytrack, at three
+//! granularities: whole execution, consecutive sync-epochs, and dynamic
+//! instances of one sync-epoch.
+
+use spcp_bench::{bar, header, run};
+use spcp_system::ProtocolKind;
+use spcp_workloads::suite;
+
+fn print_volumes(label: &str, volumes: &[u64]) {
+    let max = volumes.iter().copied().max().unwrap_or(1).max(1);
+    print!("{label:<24}");
+    for v in volumes {
+        print!(" {v:>6}");
+    }
+    println!();
+    print!("{:<24}", "");
+    for v in volumes {
+        print!(" {:>6}", bar(*v as f64 / max as f64, 5));
+    }
+    println!();
+}
+
+fn main() {
+    header(
+        "Figure 2",
+        "Communication distribution of core 0 in bodytrack",
+    );
+    let stats = run(&suite::bodytrack(), ProtocolKind::Directory, true);
+
+    print!("{:<24}", "target core:");
+    for i in 0..16 {
+        print!(" {i:>6}");
+    }
+    println!();
+
+    // (a) the whole execution.
+    println!("\n(a) whole execution:");
+    print_volumes("core 0 volume", &stats.comm_matrix[0]);
+
+    // (b) four consecutive sync-epoch instances with real activity.
+    println!("\n(b) four consecutive sync-epochs:");
+    let records = &stats.epoch_records[0];
+    let active: Vec<_> = records.iter().filter(|r| r.total_volume() > 10).collect();
+    let start = active.len().saturating_sub(8).min(4);
+    for (i, r) in active.iter().skip(start).take(4).enumerate() {
+        let v: Vec<u64> = r.volumes.iter().map(|&x| x as u64).collect();
+        print_volumes(&format!("epoch {} ({})", i + 1, r.id), &v);
+    }
+
+    // (c) five dynamic instances of the same static epoch.
+    println!("\n(c) five dynamic instances of one sync-epoch:");
+    let chosen = records
+        .iter()
+        .filter(|r| r.total_volume() > 10)
+        .map(|r| r.id)
+        .find(|id| records.iter().filter(|r| r.id == *id).count() >= 5)
+        .expect("bodytrack repeats epochs");
+    for r in records.iter().filter(|r| r.id == chosen).take(5) {
+        let v: Vec<u64> = r.volumes.iter().map(|&x| x as u64).collect();
+        print_volumes(&format!("({}, inst {})", r.id, r.instance), &v);
+    }
+    println!("\nExpected shape (paper): whole-run volume is spread, while");
+    println!("individual epochs concentrate on a few hot targets that repeat");
+    println!("across instances of the same epoch.");
+}

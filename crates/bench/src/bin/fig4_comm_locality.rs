@@ -1,0 +1,81 @@
+//! Figure 4: average communication locality at three tracking
+//! granularities — sync-epoch, whole execution ("single-interval"), and
+//! static instruction.
+
+use spcp_bench::{header, run};
+use spcp_system::{ProtocolKind, RunStats};
+use spcp_workloads::suite;
+
+/// Volume-weighted average cumulative coverage of the top-k targets over a
+/// set of distributions.
+fn avg_coverage(dists: &[Vec<u64>], k: usize) -> f64 {
+    let mut covered = 0u64;
+    let mut total = 0u64;
+    for d in dists {
+        let mut v = d.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        covered += v.iter().take(k).sum::<u64>();
+        total += v.iter().sum::<u64>();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        covered as f64 / total as f64
+    }
+}
+
+/// Per-granularity target-volume distributions: one `Vec<u64>` per tracked
+/// entity (epoch instance / core / static pc).
+type Distributions = Vec<Vec<u64>>;
+
+fn granularity_distributions(
+    stats: &RunStats,
+) -> (Distributions, Distributions, Distributions) {
+    // Sync-epoch granularity: one distribution per (core, epoch instance).
+    let epoch: Vec<Vec<u64>> = stats
+        .epoch_records
+        .iter()
+        .flatten()
+        .filter(|r| r.total_volume() > 0)
+        .map(|r| r.volumes.iter().map(|&x| x as u64).collect())
+        .collect();
+    // Single-interval granularity: one distribution per core (whole run).
+    let whole: Vec<Vec<u64>> = stats.comm_matrix.clone();
+    // Static-instruction granularity: one distribution per load/store PC.
+    let inst: Vec<Vec<u64>> = stats.pc_volumes.values().cloned().collect();
+    (epoch, whole, inst)
+}
+
+fn main() {
+    header(
+        "Figure 4",
+        "Cumulative communication locality: sync-epoch vs whole-interval vs static-instruction granularity",
+    );
+    for name in ["bodytrack", "fmm", "water-ns"] {
+        let spec = suite::by_name(name).expect("known benchmark");
+        let stats = run(&spec, ProtocolKind::Directory, true);
+        let (epoch, whole, inst) = granularity_distributions(&stats);
+        println!("\n{name}: % of communication volume covered by k cores");
+        println!(
+            "{:>4} {:>12} {:>16} {:>14}",
+            "k", "sync-epoch", "single-interval", "static-instr"
+        );
+        for k in 1..=16 {
+            println!(
+                "{:>4} {:>11.1}% {:>15.1}% {:>13.1}%",
+                k,
+                avg_coverage(&epoch, k) * 100.0,
+                avg_coverage(&whole, k) * 100.0,
+                avg_coverage(&inst, k) * 100.0,
+            );
+        }
+        let e1 = avg_coverage(&epoch, 2);
+        let w1 = avg_coverage(&whole, 2);
+        println!(
+            "shape check: sync-epoch coverage at k=2 ({:.1}%) should exceed single-interval ({:.1}%): {}",
+            e1 * 100.0,
+            w1 * 100.0,
+            if e1 > w1 { "OK" } else { "MISMATCH" }
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: average miss latency of directory, broadcast and
+//! SP-prediction, normalized to the directory protocol.
+
+use spcp_bench::{header, mean, run_suite};
+use spcp_system::{PredictorKind, ProtocolKind};
+
+fn main() {
+    header("Figure 8", "Average miss latency (normalized to base directory)");
+    let dir = run_suite(ProtocolKind::Directory, false);
+    let bc = run_suite(ProtocolKind::Broadcast, false);
+    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "directory", "broadcast", "SP"
+    );
+    let mut bc_n = Vec::new();
+    let mut sp_n = Vec::new();
+    for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
+        let base = d.miss_latency.mean();
+        let nb = b.miss_latency.mean() / base;
+        let ns = s.miss_latency.mean() / base;
+        bc_n.push(nb);
+        sp_n.push(ns);
+        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", d.benchmark, 1.0, nb, ns);
+    }
+    println!("----------------------------------------------------------------");
+    println!(
+        "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+        "average",
+        1.0,
+        mean(bc_n.clone()),
+        mean(sp_n.clone())
+    );
+    let sp_gain = 1.0 - mean(sp_n);
+    let bc_gain = 1.0 - mean(bc_n);
+    println!(
+        "SP reduces miss latency by {:.1}% (paper: 13%), attaining {:.0}% of the broadcast gain (paper: up to 75%)",
+        sp_gain * 100.0,
+        if bc_gain > 0.0 { sp_gain / bc_gain * 100.0 } else { 0.0 }
+    );
+}

@@ -1,0 +1,86 @@
+//! NoC characterization: offered-load vs latency saturation curve from the
+//! flit-level router model, plus cross-validation of the transaction-level
+//! fabric used by the main simulator.
+
+use spcp_bench::header;
+use spcp_noc::flit::FlitNetwork;
+use spcp_noc::{Fabric, MsgKind, NocConfig};
+use spcp_sim::{CoreId, Cycle, DetRng};
+
+/// Runs uniform-random traffic at `load` packets/node/cycle and returns the
+/// mean packet latency.
+fn run_load(load: f64, flits: u64, cycles: u64, seed: u64) -> (f64, u64) {
+    let mut net = FlitNetwork::new(&NocConfig::default());
+    let mut rng = DetRng::seeded(seed);
+    let mut delivered = Vec::new();
+    let mut id = 0u64;
+    for _ in 0..cycles {
+        for src in 0..16 {
+            if rng.chance(load) {
+                let mut dst = rng.index(16);
+                if dst == src {
+                    dst = (dst + 1) % 16;
+                }
+                if net
+                    .inject(CoreId::new(src), CoreId::new(dst), flits, id)
+                    .is_some()
+                {
+                    id += 1;
+                }
+            }
+        }
+        net.step(&mut delivered);
+    }
+    delivered.extend(net.drain(1_000_000));
+    let mean = if delivered.is_empty() {
+        0.0
+    } else {
+        delivered.iter().map(|d| d.latency()).sum::<u64>() as f64 / delivered.len() as f64
+    };
+    (mean, id)
+}
+
+fn main() {
+    header(
+        "NoC saturation study",
+        "Flit-level router model: offered load vs mean packet latency (2-flit packets)",
+    );
+    println!("{:>14} {:>12} {:>12}", "load (pkt/n/c)", "packets", "latency");
+    let mut prev = 0.0;
+    for &load in &[0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50] {
+        let (lat, pkts) = run_load(load, 2, 20_000, 7);
+        println!("{load:>14.2} {pkts:>12} {lat:>11.1}c");
+        assert!(lat >= prev * 0.8, "latency must not collapse as load rises");
+        prev = lat;
+    }
+
+    println!("\nCross-validation against the transaction-level fabric (light load):");
+    let mut fabric = Fabric::new(NocConfig {
+        model_contention: false,
+        ..NocConfig::default()
+    });
+    let mut worst: f64 = 0.0;
+    for (src, dst) in [(0usize, 1usize), (0, 3), (0, 15), (5, 10)] {
+        // Analytic: hops * (router 2 + link 1); flit model charges 1
+        // cycle/hop + serialization, so compare normalized per-hop slopes.
+        let t = fabric
+            .send(CoreId::new(src), CoreId::new(dst), MsgKind::Request, Cycle::ZERO)
+            .as_u64();
+        let mut net = FlitNetwork::new(&NocConfig::default());
+        net.inject(CoreId::new(src), CoreId::new(dst), 1, 0);
+        let flit_lat = net.drain(1000)[0].latency();
+        let hops = fabric.mesh().hops(CoreId::new(src), CoreId::new(dst)) as f64;
+        let analytic_per_hop = t as f64 / hops;
+        let flit_per_hop = flit_lat as f64 / hops;
+        worst = worst.max((analytic_per_hop - 3.0).abs());
+        println!(
+            "  {src:>2} -> {dst:<2}: analytic {t:>3}c ({analytic_per_hop:.1}/hop), flit {flit_lat:>3}c ({flit_per_hop:.1}/hop)"
+        );
+    }
+    println!(
+        "\nanalytic model charges 3 cycles/hop (2-stage router + link); the\n\
+         flit model's single-cycle routers give 1 cycle/hop + serialization —\n\
+         both scale linearly in distance (max per-hop deviation of the\n\
+         analytic model from its 3c/hop spec: {worst:.2}c)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Table 1: sync-epoch statistics of the benchmarks (per-core average).
+
+use spcp_bench::{header, run};
+use spcp_system::ProtocolKind;
+use spcp_workloads::suite;
+
+/// The paper's Table 1 values for reference: (name, static critical
+/// sections, static sync-epochs, total dynamic sync-epochs per core).
+const PAPER: [(&str, usize, usize, u64); 17] = [
+    ("fmm", 30, 20, 2789),
+    ("lu", 7, 5, 185),
+    ("ocean", 28, 20, 2685),
+    ("radiosity", 34, 12, 17637),
+    ("water-ns", 20, 8, 1224),
+    ("cholesky", 28, 27, 1998),
+    ("fft", 8, 8, 22),
+    ("radix", 8, 4, 35),
+    ("water-sp", 17, 1, 83),
+    ("bodytrack", 16, 20, 456),
+    ("fluidanimate", 11, 20, 8991),
+    ("streamcluster", 1, 24, 11454),
+    ("vips", 14, 8, 419),
+    ("facesim", 2, 3, 3826),
+    ("ferret", 4, 6, 25),
+    ("dedup", 3, 4, 508),
+    ("x264", 2, 3, 56),
+];
+
+fn main() {
+    header("Table 1", "Sync-epoch statistics (per-core average)");
+    println!(
+        "{:<14} {:>8} {:>8} | {:>8} {:>8} | {:>10} {:>10}",
+        "benchmark", "statCS", "paper", "statEp", "paper", "dynEp/core", "paper(raw)"
+    );
+    for (name, p_cs, p_se, p_dyn) in PAPER {
+        let spec = suite::by_name(name).expect("suite covers Table 1");
+        // Measure the dynamic counts from an actual recorded run.
+        let stats = run(&spec, ProtocolKind::Directory, true);
+        let dyn_per_core = stats
+            .epoch_records
+            .iter()
+            .map(|r| r.len() as u64)
+            .sum::<u64>()
+            / stats.epoch_records.len().max(1) as u64;
+        println!(
+            "{:<14} {:>8} {:>8} | {:>8} {:>8} | {:>10} {:>10}",
+            name,
+            spec.static_critical_sections(),
+            p_cs,
+            spec.static_epochs(),
+            p_se,
+            dyn_per_core,
+            p_dyn,
+        );
+    }
+    println!("----------------------------------------------------------------");
+    println!("dynamic instance counts are intentionally scaled down (~50x,");
+    println!("capped ~120/core) to keep runs fast; statics match Table 1.");
+}

@@ -1,0 +1,118 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper.
+//! Run them with `cargo run -p spcp-bench --release --bin <name>`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1_communicating_misses` | Figure 1 |
+//! | `fig2_comm_distribution` | Figure 2 |
+//! | `table1_sync_epoch_stats` | Table 1 |
+//! | `fig4_comm_locality` | Figure 4 |
+//! | `fig5_hot_set_sizes` | Figure 5 |
+//! | `fig6_hot_set_patterns` | Figure 6 |
+//! | `table4_machine_config` | Table 4 |
+//! | `fig7_sp_accuracy` | Figure 7 |
+//! | `table5_predicted_set_size` | Table 5 |
+//! | `fig8_miss_latency` | Figure 8 |
+//! | `fig9_bandwidth` | Figure 9 |
+//! | `fig10_execution_time` | Figure 10 |
+//! | `fig11_energy` | Figure 11 |
+//! | `fig12_tradeoff` | Figure 12 |
+//! | `fig13_space_sensitivity` | Figure 13 |
+//! | `fig3_sync_epochs` | Figure 3 (rendered from a real trace) |
+//! | `ablation_sp` | SP design-choice sweeps (DESIGN.md §5) |
+//! | `ablation_policies` | destination-set policies (§5.4 footnote) |
+//! | `ext_multicast_snoop` | prediction-driven multicast snooping (§1) |
+//! | `ext_snoop_filter` | region snoop filter (§5.3) |
+//! | `ext_software_table` | software SP-table cost (§4.6) |
+//! | `ext_profile_warmstart` | off-line profiling warm start (§5.2) |
+//! | `ext_thread_migration` | thread migration + logical IDs (§5.5) |
+//! | `ext_commercial` | commercial-workload projection (§5.5) |
+//! | `ext_protocol_variant` | MESIF vs plain MESI (§4.5) |
+//! | `ext_cache_sensitivity` | L2-size sensitivity (§5.3) |
+//! | `ext_core_count` | 4–64-core scaling |
+//! | `ext_input_size` | input-size sensitivity (§5.3) |
+//! | `ext_compute_intensity` | instruction-mix sensitivity |
+//! | `noc_saturation` | flit-level NoC saturation + cross-validation |
+//! | `all_results` | CSV batch of every benchmark × protocol |
+
+#![warn(missing_docs)]
+
+use spcp_system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig, RunStats};
+use spcp_workloads::{suite, BenchmarkSpec};
+
+/// The fixed workload seed every figure uses (determinism across binaries).
+pub const SEED: u64 = 7;
+/// Cores in the evaluated machine.
+pub const CORES: usize = 16;
+
+/// Runs `spec` under `protocol` on the paper's machine.
+pub fn run(spec: &BenchmarkSpec, protocol: ProtocolKind, record: bool) -> RunStats {
+    let w = spec.generate(CORES, SEED);
+    let mut cfg = RunConfig::new(MachineConfig::paper_16core(), protocol);
+    if record {
+        cfg = cfg.recording();
+    }
+    CmpSystem::run_workload(&w, &cfg)
+}
+
+/// Runs the whole suite under one protocol.
+pub fn run_suite(protocol: ProtocolKind, record: bool) -> Vec<RunStats> {
+    suite::all()
+        .iter()
+        .map(|s| run(s, protocol.clone(), record))
+        .collect()
+}
+
+/// Arithmetic mean of an iterator of f64.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// A crude ASCII bar for terminal "plots": `frac` in `[0, 1]` over `width`
+/// characters.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "·".repeat(width - filled))
+}
+
+/// Prints a standard figure header.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("(reproduction; shapes comparable to the paper, absolute numbers");
+    println!(" depend on the synthetic substrate — see EXPERIMENTS.md)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_renders_extremes() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(7.0, 2), "██", "clamped above 1");
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn run_helper_produces_stats() {
+        let s = run(&suite::x264(), ProtocolKind::Directory, false);
+        assert_eq!(s.benchmark, "x264");
+        assert!(s.l2_misses > 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! `spcp` — command-line driver for the SP-prediction reproduction.
+//!
+//! ```text
+//! spcp list
+//! spcp run --bench ocean --protocol sp [--seed 7] [--filter] [--json]
+//! spcp compare --bench x264 [--seed 7]
+//! spcp characterize --bench streamcluster [--core 0]
+//! ```
+
+mod args;
+mod report;
+
+use args::Args;
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_workloads::suite;
+
+const USAGE: &str = "spcp — synchronization-point coherence prediction simulator
+
+USAGE:
+  spcp list                                     list benchmark models
+  spcp run --bench <name> --protocol <p>        simulate one run
+      [--seed <n>] [--filter] [--json]
+      (--spec-file <path> runs a text workload spec instead of --bench)
+      protocols: directory broadcast sp addr inst uni multicast
+  spcp compare --bench <name> [--seed <n>]      all protocols side by side
+  spcp characterize --bench <name> [--core <n>] sync-epoch hot sets
+  spcp trace --bench <name> --out <file>        collect a miss/sync trace
+  spcp analyze --trace <file> [--cores <n>]     characterize a trace file
+  spcp matrix --bench <name> [--protocol <p>]   communication-matrix heatmap
+";
+
+fn protocol_from(name: &str) -> Result<ProtocolKind, String> {
+    Ok(match name {
+        "directory" | "dir" => ProtocolKind::Directory,
+        "broadcast" | "bc" => ProtocolKind::Broadcast,
+        "sp" => ProtocolKind::Predicted(PredictorKind::sp_default()),
+        "addr" => ProtocolKind::Predicted(PredictorKind::Addr {
+            entries: None,
+            macroblock_bytes: 256,
+        }),
+        "inst" => ProtocolKind::Predicted(PredictorKind::Inst { entries: None }),
+        "uni" => ProtocolKind::Predicted(PredictorKind::Uni),
+        "multicast" | "mc" => ProtocolKind::MulticastSnoop(PredictorKind::sp_default()),
+        other => return Err(format!("unknown protocol '{other}'")),
+    })
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!(
+        "{:<14} {:>9} {:>9} {:>11} {:>11}",
+        "benchmark", "statEp", "statCS", "dynEp/core", "~ops/core"
+    );
+    for s in suite::all() {
+        println!(
+            "{:<14} {:>9} {:>9} {:>11} {:>11}",
+            s.name,
+            s.static_epochs(),
+            s.static_critical_sections(),
+            s.dynamic_epochs_per_core(),
+            s.ops_per_core(),
+        );
+    }
+    Ok(())
+}
+
+fn load_spec(args: &Args) -> Result<spcp_workloads::BenchmarkSpec, String> {
+    if let Some(path) = args.opt("spec-file") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return spcp_workloads::textspec::parse_spec(&text).map_err(|e| e.to_string());
+    }
+    let bench = args.opt("bench").ok_or("run requires --bench <name> or --spec-file <path>")?;
+    suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    let protocol = protocol_from(args.opt("protocol").unwrap_or("sp"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let workload = spec.generate(16, seed);
+    let mut cfg = RunConfig::new(MachineConfig::paper_16core(), protocol);
+    if args.flag("filter") {
+        cfg = cfg.with_snoop_filter();
+    }
+    let stats = CmpSystem::run_workload(&workload, &cfg);
+    if args.flag("json") {
+        println!("{}", report::json_summary(&stats));
+    } else {
+        print!("{}", report::text_summary(&stats));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let bench = args.opt("bench").ok_or("compare requires --bench <name>")?;
+    let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let workload = spec.generate(16, seed);
+    let machine = MachineConfig::paper_16core();
+    println!(
+        "{:<12} {:>10} {:>9} {:>12} {:>9} {:>11}",
+        "protocol", "exec", "misslat", "byte-hops", "accuracy", "storage(KB)"
+    );
+    for name in ["directory", "broadcast", "sp", "addr", "inst", "uni", "multicast"] {
+        let proto = protocol_from(name)?;
+        let s = CmpSystem::run_workload(&workload, &RunConfig::new(machine.clone(), proto));
+        println!(
+            "{:<12} {:>10} {:>9.1} {:>12} {:>8.1}% {:>11.2}",
+            name,
+            s.exec_cycles,
+            s.miss_latency.mean(),
+            s.noc.byte_hops,
+            s.accuracy() * 100.0,
+            s.predictor_storage_bits as f64 / 8.0 / 1024.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), String> {
+    let bench = args.opt("bench").ok_or("characterize requires --bench <name>")?;
+    let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let core: usize = args.opt_parse("core", 0)?;
+    if core >= 16 {
+        return Err("--core must be below 16".into());
+    }
+    let workload = spec.generate(16, seed);
+    let stats = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory).recording(),
+    );
+    println!(
+        "{bench}, core {core}: {} epoch instances",
+        stats.epoch_records[core].len()
+    );
+    println!("{:<26} {:>8} {:>5}  hot set", "epoch", "volume", "size");
+    for r in stats.epoch_records[core].iter().take(50) {
+        let hot = r.hot_set(0.10);
+        let bits: String = (0..16)
+            .map(|i| if hot.contains(spcp_sim::CoreId::new(i)) { 'X' } else { '.' })
+            .collect();
+        println!(
+            "{:<26} {:>8} {:>5}  {}",
+            format!("({}, {})", r.id, r.instance),
+            r.total_volume(),
+            hot.len(),
+            bits
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let bench = args.opt("bench").ok_or("trace requires --bench <name>")?;
+    let out = args.opt("out").ok_or("trace requires --out <file>")?;
+    let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let workload = spec.generate(16, seed);
+    let stats = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory).tracing(),
+    );
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    spcp_trace::write_trace(&mut w, &stats.trace).map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {} events ({} misses) for {bench} to {out}",
+        stats.trace.len(),
+        stats.l2_misses
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args.opt("trace").ok_or("analyze requires --trace <file>")?;
+    let cores: usize = args.opt_parse("cores", 16)?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let events =
+        spcp_trace::read_trace(std::io::BufReader::new(file)).map_err(|e| format!("{e}"))?;
+    let a = spcp_trace::TraceAnalyzer::from_events(cores, &events);
+    println!("events               {}", events.len());
+    println!("L2 misses            {}", a.total_misses());
+    println!(
+        "communicating        {} ({:.1}%)",
+        a.comm_misses(),
+        a.comm_ratio() * 100.0
+    );
+    println!("static epochs/core   {:.1}", a.static_epochs_per_core());
+    println!("dynamic epochs/core  {:.1}", a.dynamic_epochs_per_core());
+    let dist = a.hot_set_size_distribution(0.10);
+    let total: u64 = dist.iter().sum();
+    if total > 0 {
+        println!(
+            "hot-set sizes        1:{:.0}% 2:{:.0}% 3:{:.0}% 4:{:.0}% >=5:{:.0}%",
+            dist[0] as f64 / total as f64 * 100.0,
+            dist[1] as f64 / total as f64 * 100.0,
+            dist[2] as f64 / total as f64 * 100.0,
+            dist[3] as f64 / total as f64 * 100.0,
+            dist[4] as f64 / total as f64 * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &Args) -> Result<(), String> {
+    let bench = args.opt("bench").ok_or("matrix requires --bench <name>")?;
+    let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
+    let protocol = protocol_from(args.opt("protocol").unwrap_or("directory"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let workload = spec.generate(16, seed);
+    let stats = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(MachineConfig::paper_16core(), protocol),
+    );
+    let max = stats
+        .comm_matrix
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    // Log-ish shading so sparse rows stay visible.
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    println!("{bench}: communication volume, source rows x target columns");
+    println!("      {}", (0..16).map(|i| format!("{i:>3}")).collect::<String>());
+    for (src, row) in stats.comm_matrix.iter().enumerate() {
+        print!("  {src:>2} |");
+        for &v in row {
+            let shade = if v == 0 {
+                shades[0]
+            } else {
+                let idx = 1 + ((v as f64).ln_1p() / (max as f64).ln_1p()
+                    * (shades.len() - 2) as f64)
+                    .round() as usize;
+                shades[idx.min(shades.len() - 1)]
+            };
+            print!("  {shade}");
+        }
+        println!(" | {}", row.iter().sum::<u64>());
+    }
+    println!("(max cell = {max} communication events)");
+    Ok(())
+}
+
+fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "characterize" => cmd_characterize(args),
+        "trace" => cmd_trace(args),
+        "analyze" => cmd_analyze(args),
+        "matrix" => cmd_matrix(args),
+        "" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    if let Err(e) = dispatch(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_parsing_covers_all_schemes() {
+        for p in ["directory", "broadcast", "sp", "addr", "inst", "uni", "multicast"] {
+            assert!(protocol_from(p).is_ok(), "{p}");
+        }
+        assert!(protocol_from("bogus").is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        let a = Args::parse(["frobnicate".to_string()]);
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn run_requires_bench() {
+        let a = Args::parse(["run".to_string()]);
+        assert!(dispatch(&a).unwrap_err().contains("--bench"));
+    }
+
+    #[test]
+    fn run_from_spec_file() {
+        let path = std::env::temp_dir().join("spcp-cli-test.spec");
+        std::fs::write(
+            &path,
+            "benchmark filetest
+phase 2
+  epoch 1 stable 2
+    traffic 16 16
+end
+",
+        )
+        .unwrap();
+        let a = Args::parse(
+            format!("run --spec-file {} --protocol sp --json", path.display())
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_spec_file_reports_line() {
+        let path = std::env::temp_dir().join("spcp-cli-bad.spec");
+        std::fs::write(&path, "benchmark x
+phase 0
+end
+").unwrap();
+        let a = Args::parse(
+            format!("run --spec-file {}", path.display())
+                .split_whitespace()
+                .map(String::from),
+        );
+        let err = dispatch(&a).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn list_succeeds() {
+        assert!(cmd_list().is_ok());
+    }
+
+    #[test]
+    fn trace_then_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("spcp-cli-test-trace.txt");
+        let path = dir.to_str().unwrap().to_string();
+        let t = Args::parse(
+            format!("trace --bench x264 --out {path}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&t).is_ok());
+        let a = Args::parse(
+            format!("analyze --trace {path}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn matrix_smoke() {
+        let a = Args::parse("matrix --bench x264".split_whitespace().map(String::from));
+        assert!(dispatch(&a).is_ok());
+    }
+
+    #[test]
+    fn analyze_missing_file_errors() {
+        let a = Args::parse(
+            "analyze --trace /nonexistent/x.trace"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn run_smoke_on_small_benchmark() {
+        let a = Args::parse(
+            "run --bench x264 --protocol sp --json"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+    }
+}

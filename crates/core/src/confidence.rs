@@ -1,0 +1,140 @@
+//! Saturating confidence counters (§4.4's recovery mechanism).
+
+/// An n-bit saturating up/down counter.
+///
+/// SP-prediction attaches a 4-bit instance to each active epoch predictor:
+/// it starts fully set (high confidence), increments on sufficient
+/// predictions, decrements otherwise, and reaching zero triggers predictor
+/// recovery from the live communication counters.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_core::SatCounter;
+///
+/// let mut c = SatCounter::full(4);
+/// assert_eq!(c.get(), 15);
+/// c.dec();
+/// assert_eq!(c.get(), 14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SatCounter {
+    /// A counter of `bits` width starting at its maximum value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn full(bits: u32) -> Self {
+        assert!((1..=31).contains(&bits), "counter width out of range");
+        let max = (1 << bits) - 1;
+        SatCounter { value: max, max }
+    }
+
+    /// A counter of `bits` width starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    pub fn zero(bits: u32) -> Self {
+        let mut c = Self::full(bits);
+        c.value = 0;
+        c
+    }
+
+    /// Current value.
+    pub fn get(self) -> u32 {
+        self.value
+    }
+
+    /// Maximum representable value.
+    pub fn max(self) -> u32 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Whether the counter has drained to zero (low confidence).
+    pub fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Resets to the maximum (fresh high confidence).
+    pub fn refill(&mut self) {
+        self.value = self.max;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_counter_range() {
+        let c = SatCounter::full(4);
+        assert_eq!(c.get(), 15);
+        assert_eq!(c.max(), 15);
+    }
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SatCounter::full(2);
+        c.inc();
+        assert_eq!(c.get(), 3);
+        for _ in 0..10 {
+            c.dec();
+        }
+        assert!(c.is_zero());
+        c.dec();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn refill_restores_max() {
+        let mut c = SatCounter::full(4);
+        for _ in 0..15 {
+            c.dec();
+        }
+        assert!(c.is_zero());
+        c.refill();
+        assert_eq!(c.get(), 15);
+    }
+
+    #[test]
+    fn zero_constructor() {
+        let c = SatCounter::zero(3);
+        assert!(c.is_zero());
+        assert_eq!(c.max(), 7);
+    }
+
+    #[test]
+    fn drains_after_exactly_max_decrements() {
+        let mut c = SatCounter::full(4);
+        let mut steps = 0;
+        while !c.is_zero() {
+            c.dec();
+            steps += 1;
+        }
+        assert_eq!(steps, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_rejected() {
+        SatCounter::full(0);
+    }
+}

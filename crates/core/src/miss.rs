@@ -1,0 +1,77 @@
+//! Descriptions of the misses a target predictor is consulted about.
+
+use spcp_mem::BlockAddr;
+use std::fmt;
+
+/// The kind of memory access that missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load miss: needs one data supplier.
+    Read,
+    /// Store miss: needs data plus invalidation of every sharer.
+    Write,
+    /// Store hit on a Shared/Forward line: needs invalidations only.
+    Upgrade,
+}
+
+impl AccessKind {
+    /// Whether the access requires exclusive ownership.
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Upgrade)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "RD",
+            AccessKind::Write => "WR",
+            AccessKind::Upgrade => "UP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything a predictor may index on for one miss: the block address
+/// (ADDR predictors), the static instruction (INST predictors), and the
+/// access kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MissInfo {
+    /// The missing cache block.
+    pub block: BlockAddr,
+    /// Program counter of the load/store instruction.
+    pub pc: u32,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+impl MissInfo {
+    /// Creates a miss description.
+    pub fn new(block: BlockAddr, pc: u32, kind: AccessKind) -> Self {
+        MissInfo { block, pc, kind }
+    }
+}
+
+impl fmt::Display for MissInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} pc=0x{:x}", self.kind, self.block, self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusivity() {
+        assert!(!AccessKind::Read.is_exclusive());
+        assert!(AccessKind::Write.is_exclusive());
+        assert!(AccessKind::Upgrade.is_exclusive());
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = MissInfo::new(BlockAddr::from_index(16), 0xff, AccessKind::Write);
+        assert_eq!(m.to_string(), "WR blk:0x10 pc=0xff");
+    }
+}

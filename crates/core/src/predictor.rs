@@ -1,0 +1,111 @@
+//! The common predictor interface every scheme implements.
+
+use crate::miss::MissInfo;
+use spcp_sim::{CoreId, CoreSet};
+use spcp_sync::SyncPoint;
+
+/// What actually happened for a miss, fed back to the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionOutcome {
+    /// The minimal sufficient target set as determined by the directory
+    /// (empty for non-communicating misses).
+    pub actual: CoreSet,
+    /// The set that was predicted (empty when no prediction was attempted).
+    pub predicted: CoreSet,
+    /// Whether `predicted` was sufficient, i.e. a superset of `actual`
+    /// *and* a prediction was actually made.
+    pub sufficient: bool,
+}
+
+/// A coherence-target predictor.
+///
+/// One instance lives next to each L2 controller. On every miss the
+/// controller calls [`predict`](TargetPredictor::predict); a non-empty
+/// result causes predicted requests to be issued in parallel with the
+/// directory request (§4.5). When the transaction completes the controller
+/// calls [`train`](TargetPredictor::train) with the true targets.
+///
+/// The remaining hooks feed the information streams the different schemes
+/// need and default to no-ops:
+///
+/// * [`on_sync_point`](TargetPredictor::on_sync_point) — SP-prediction's
+///   epoch boundary notification (with the previous lock holder for lock
+///   points);
+/// * [`observe_remote_request`](TargetPredictor::observe_remote_request) —
+///   an incoming coherence request from another core touched `block`,
+///   letting ADDR/INST entries learn future owners from external requests.
+pub trait TargetPredictor {
+    /// Short scheme name for reports (e.g. `"SP"`, `"ADDR"`).
+    fn name(&self) -> &'static str;
+
+    /// Predicts the set of cores sufficient to satisfy `miss`. Empty means
+    /// "no prediction — go through the directory only".
+    fn predict(&mut self, miss: &MissInfo) -> CoreSet;
+
+    /// Feeds back the outcome of a completed miss.
+    fn train(&mut self, miss: &MissInfo, outcome: PredictionOutcome);
+
+    /// Notifies the predictor that its core executed a sync-point.
+    ///
+    /// `prev_lock_holder` carries the core that last held the lock for
+    /// `Lock` points (the release signature of §4.2), when known.
+    fn on_sync_point(&mut self, _point: SyncPoint, _prev_lock_holder: Option<CoreId>) {}
+
+    /// Notifies the predictor that a remote `requester` sent a coherence
+    /// request for `block` (observed at this core's cache).
+    fn observe_remote_request(&mut self, _miss: &MissInfo, _requester: CoreId) {}
+
+    /// Storage the scheme currently occupies, in bits (tags included where
+    /// applicable); the fig. 13 space-efficiency comparison.
+    fn storage_bits(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miss::AccessKind;
+    use spcp_mem::BlockAddr;
+
+    /// A trivial predictor used to pin down the trait's object safety and
+    /// default hooks.
+    struct Always(CoreSet);
+
+    impl TargetPredictor for Always {
+        fn name(&self) -> &'static str {
+            "ALWAYS"
+        }
+        fn predict(&mut self, _miss: &MissInfo) -> CoreSet {
+            self.0
+        }
+        fn train(&mut self, _miss: &MissInfo, _outcome: PredictionOutcome) {}
+        fn storage_bits(&self) -> u64 {
+            64
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let set = CoreSet::from_bits(0b10);
+        let mut p: Box<dyn TargetPredictor> = Box::new(Always(set));
+        let miss = MissInfo::new(BlockAddr::from_index(0), 0, AccessKind::Read);
+        assert_eq!(p.predict(&miss), set);
+        assert_eq!(p.name(), "ALWAYS");
+        // Default hooks are callable no-ops.
+        p.on_sync_point(
+            spcp_sync::SyncPoint::barrier(spcp_sync::StaticSyncId::new(1)),
+            None,
+        );
+        p.observe_remote_request(&miss, CoreId::new(3));
+    }
+
+    #[test]
+    fn outcome_records_sufficiency() {
+        let o = PredictionOutcome {
+            actual: CoreSet::from_bits(0b1),
+            predicted: CoreSet::from_bits(0b11),
+            sufficient: true,
+        };
+        assert!(o.predicted.is_superset(o.actual));
+        assert!(o.sufficient);
+    }
+}

@@ -1,0 +1,516 @@
+//! The SP-table: tiny signature-history storage (§4.3).
+
+use spcp_sim::{CoreId, CoreSet};
+use spcp_sync::{EpochId, LockId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A bounded sequence of communication signatures for one static sync-epoch,
+/// newest last.
+///
+/// The history depth `d` bounds the sequence; storing a new signature shifts
+/// the oldest one out. The structure also tracks whether the last store
+/// completed a stride-2 repetitive pattern (§4.4, Figure 6(c)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigHistory {
+    sigs: VecDeque<CoreSet>,
+    depth: usize,
+    stride2: bool,
+}
+
+impl SigHistory {
+    /// Creates an empty history of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "history depth must be at least 1");
+        SigHistory {
+            sigs: VecDeque::with_capacity(depth),
+            depth,
+            stride2: false,
+        }
+    }
+
+    /// Number of signatures currently stored.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether no signatures are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The most recent signature.
+    pub fn newest(&self) -> Option<CoreSet> {
+        self.sigs.back().copied()
+    }
+
+    /// The second most recent signature.
+    pub fn previous(&self) -> Option<CoreSet> {
+        if self.sigs.len() >= 2 {
+            self.sigs.get(self.sigs.len() - 2).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Whether the last [`push`](SigHistory::push) detected a stride-2
+    /// alternation (new signature equals the one from two instances ago but
+    /// differs from the last).
+    pub fn stride2_detected(&self) -> bool {
+        self.stride2
+    }
+
+    /// Stores a new signature, shifting out the oldest beyond the depth.
+    pub fn push(&mut self, sig: CoreSet) {
+        // Stride-2 detection compares the incoming signature with the two
+        // most recent stored ones *before* insertion.
+        self.stride2 = match (self.previous(), self.newest()) {
+            (Some(older), Some(newer)) => sig == older && sig != newer,
+            _ => false,
+        };
+        if self.sigs.len() == self.depth {
+            self.sigs.pop_front();
+        }
+        self.sigs.push_back(sig);
+    }
+
+    /// Union of all stored signatures (the lock-holder union of §4.4).
+    pub fn union(&self) -> CoreSet {
+        self.sigs
+            .iter()
+            .fold(CoreSet::empty(), |acc, &s| acc.union(s))
+    }
+
+    /// Intersection of the two most recent signatures — the paper's
+    /// *last stable hot communication set* (d = 2 policy). Falls back to
+    /// the newest signature when only one is stored.
+    pub fn stable(&self) -> Option<CoreSet> {
+        match (self.previous(), self.newest()) {
+            (Some(p), Some(n)) => Some(p.intersect(n)),
+            (None, Some(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Storage occupied by the stored signatures, in bits, for a machine
+    /// with `num_cores` cores.
+    pub fn storage_bits(&self, num_cores: usize) -> u64 {
+        (self.depth * num_cores) as u64
+    }
+}
+
+/// One core's slice of the SP-table plus the machine-wide shared lock
+/// entries.
+///
+/// Entries are indexed by the *static* epoch ID. Capacity may optionally be
+/// bounded, in which case the least-recently-touched entry is evicted — the
+/// space-sensitivity experiment of Figure 13 uses this.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_core::SpTable;
+/// use spcp_sim::CoreSet;
+/// use spcp_sync::{EpochId, StaticSyncId, SyncKind};
+///
+/// let mut t = SpTable::new(2, None);
+/// let id = EpochId { kind: SyncKind::Barrier, static_id: StaticSyncId::new(1) };
+/// t.store(id, CoreSet::from_bits(0b100));
+/// assert_eq!(t.history(id).unwrap().newest(), Some(CoreSet::from_bits(0b100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpTable {
+    entries: HashMap<EpochId, (SigHistory, u64)>,
+    depth: usize,
+    capacity: Option<usize>,
+    /// Optional §4.6 hardware organization: `(sets, ways)`. Entries index
+    /// by `static_id % sets`; a full set evicts its LRU entry even when
+    /// the table as a whole has room (set conflicts).
+    set_assoc: Option<(usize, usize)>,
+    clock: u64,
+}
+
+impl SpTable {
+    /// Creates a table with signature depth `depth` and optional entry
+    /// capacity.
+    pub fn new(depth: usize, capacity: Option<usize>) -> Self {
+        SpTable {
+            entries: HashMap::new(),
+            depth,
+            capacity,
+            set_assoc: None,
+            clock: 0,
+        }
+    }
+
+    /// Creates a set-associative table (§4.6: "a smaller set-associativity
+    /// array is also possible without much cost from set conflicts").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn set_associative(depth: usize, sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "geometry must be non-zero");
+        SpTable {
+            entries: HashMap::new(),
+            depth,
+            capacity: Some(sets * ways),
+            set_assoc: Some((sets, ways)),
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, id: EpochId) -> Option<usize> {
+        self.set_assoc
+            .map(|(sets, _)| id.static_id.raw() as usize % sets)
+    }
+
+    /// The configured history depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The signature history of `id`, if resident.
+    pub fn history(&mut self, id: EpochId) -> Option<&SigHistory> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&id).map(|(h, stamp)| {
+            *stamp = clock;
+            &*h
+        })
+    }
+
+    /// Stores a signature for `id`, creating the entry if needed and
+    /// evicting the least-recently-touched entry when at capacity (or when
+    /// the entry's set is full, in a set-associative table).
+    pub fn store(&mut self, id: EpochId, sig: CoreSet) {
+        self.clock += 1;
+        let clock = self.clock;
+        if !self.entries.contains_key(&id) {
+            if let (Some(set), Some((_, ways))) = (self.set_of(id), self.set_assoc) {
+                // Evict the LRU entry of the conflicting set.
+                while self
+                    .entries
+                    .keys()
+                    .filter(|k| self.set_of(**k) == Some(set))
+                    .count()
+                    >= ways
+                {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .filter(|(k, _)| self.set_of(**k) == Some(set))
+                        .min_by_key(|(_, (_, stamp))| *stamp)
+                        .map(|(k, _)| *k)
+                        .expect("set is full, so it has entries");
+                    self.entries.remove(&victim);
+                }
+            } else if let Some(cap) = self.capacity {
+                while self.entries.len() >= cap {
+                    let victim = self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, (_, stamp))| *stamp)
+                        .map(|(k, _)| *k)
+                        .expect("capacity > 0 implies at least one entry");
+                    self.entries.remove(&victim);
+                }
+            }
+            self.entries
+                .insert(id, (SigHistory::new(self.depth), clock));
+        }
+        let (h, stamp) = self.entries.get_mut(&id).expect("just inserted");
+        h.push(sig);
+        *stamp = clock;
+    }
+
+    /// Storage occupied by the table in bits: per entry, `depth` signatures
+    /// of `num_cores` bits each, a 32-bit tag, and one shared-entry flag —
+    /// the §4.6 accounting.
+    pub fn storage_bits(&self, num_cores: usize) -> u64 {
+        let per_entry = (self.depth * num_cores) as u64 + 32 + 1;
+        self.entries.len() as u64 * per_entry
+    }
+}
+
+/// The machine-wide lock-entry table: critical sections protected by the
+/// same lock share one history of recent lock holders, regardless of which
+/// core executes them (§4.3).
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    entries: HashMap<LockId, SigHistory>,
+    depth: usize,
+}
+
+impl LockTable {
+    /// Creates an empty lock table with the given holder-history depth.
+    pub fn new(depth: usize) -> Self {
+        LockTable {
+            entries: HashMap::new(),
+            depth,
+        }
+    }
+
+    /// Records that `holder` released `lock` (the critical-section
+    /// signature of §4.2 encodes only the releasing processor).
+    pub fn record_release(&mut self, lock: LockId, holder: CoreId) {
+        self.entries
+            .entry(lock)
+            .or_insert_with(|| SigHistory::new(self.depth))
+            .push(CoreSet::single(holder));
+    }
+
+    /// The union of the last `depth` holders of `lock`: the prediction set
+    /// for a critical section protected by it.
+    pub fn recent_holders(&self, lock: LockId) -> CoreSet {
+        self.entries
+            .get(&lock)
+            .map(|h| h.union())
+            .unwrap_or(CoreSet::empty())
+    }
+
+    /// Number of tracked locks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no locks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Storage in bits (same per-entry accounting as [`SpTable`]).
+    pub fn storage_bits(&self, num_cores: usize) -> u64 {
+        let per_entry = (self.depth * num_cores) as u64 + 32 + 1;
+        self.entries.len() as u64 * per_entry
+    }
+}
+
+/// A handle to the lock table shared by every core's predictor.
+///
+/// The simulator is single-threaded, so plain shared ownership via
+/// `Rc<RefCell<_>>` models the hardware's centralized/interleaved shared
+/// entries (§4.6) without synchronization cost.
+pub type SharedLockTable = Rc<RefCell<LockTable>>;
+
+/// Creates a lock table shared across predictor instances.
+pub fn shared_lock_table(depth: usize) -> SharedLockTable {
+    Rc::new(RefCell::new(LockTable::new(depth)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_sync::{StaticSyncId, SyncKind};
+
+    fn eid(raw: u32) -> EpochId {
+        EpochId {
+            kind: SyncKind::Barrier,
+            static_id: StaticSyncId::new(raw),
+        }
+    }
+
+    fn sig(bits: u64) -> CoreSet {
+        CoreSet::from_bits(bits)
+    }
+
+    #[test]
+    fn history_depth_bounds_storage() {
+        let mut h = SigHistory::new(2);
+        h.push(sig(0b001));
+        h.push(sig(0b010));
+        h.push(sig(0b100));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.newest(), Some(sig(0b100)));
+        assert_eq!(h.previous(), Some(sig(0b010)));
+    }
+
+    #[test]
+    fn stable_is_intersection_of_last_two() {
+        let mut h = SigHistory::new(2);
+        h.push(sig(0b011));
+        assert_eq!(h.stable(), Some(sig(0b011)));
+        h.push(sig(0b110));
+        assert_eq!(h.stable(), Some(sig(0b010)));
+    }
+
+    #[test]
+    fn union_covers_all_signatures() {
+        let mut h = SigHistory::new(3);
+        h.push(sig(0b001));
+        h.push(sig(0b100));
+        assert_eq!(h.union(), sig(0b101));
+    }
+
+    #[test]
+    fn stride2_detection_fires_on_alternation() {
+        let mut h = SigHistory::new(2);
+        let a = sig(0b01);
+        let b = sig(0b10);
+        h.push(a);
+        assert!(!h.stride2_detected());
+        h.push(b);
+        assert!(!h.stride2_detected());
+        h.push(a); // matches the signature from two instances ago
+        assert!(h.stride2_detected());
+        h.push(b);
+        assert!(h.stride2_detected());
+    }
+
+    #[test]
+    fn stride2_not_fired_for_stable() {
+        let mut h = SigHistory::new(2);
+        let a = sig(0b01);
+        h.push(a);
+        h.push(a);
+        h.push(a);
+        assert!(!h.stride2_detected(), "stable pattern is not stride-2");
+    }
+
+    #[test]
+    fn empty_history_queries() {
+        let h = SigHistory::new(2);
+        assert!(h.is_empty());
+        assert_eq!(h.newest(), None);
+        assert_eq!(h.previous(), None);
+        assert_eq!(h.stable(), None);
+        assert_eq!(h.union(), CoreSet::empty());
+    }
+
+    #[test]
+    fn table_store_and_lookup() {
+        let mut t = SpTable::new(2, None);
+        assert!(t.is_empty());
+        t.store(eid(1), sig(0b1));
+        t.store(eid(1), sig(0b10));
+        let h = t.history(eid(1)).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.newest(), Some(sig(0b10)));
+        assert!(t.history(eid(2)).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_lru_entry() {
+        let mut t = SpTable::new(1, Some(2));
+        t.store(eid(1), sig(1));
+        t.store(eid(2), sig(2));
+        // Touch entry 1 so entry 2 becomes LRU.
+        assert!(t.history(eid(1)).is_some());
+        t.store(eid(3), sig(4));
+        assert_eq!(t.len(), 2);
+        assert!(t.history(eid(1)).is_some());
+        assert!(t.history(eid(2)).is_none(), "entry 2 was LRU");
+        assert!(t.history(eid(3)).is_some());
+    }
+
+    #[test]
+    fn unlimited_table_never_evicts() {
+        let mut t = SpTable::new(1, None);
+        for i in 0..100 {
+            t.store(eid(i), sig(1));
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn storage_accounting_matches_paper_shape() {
+        // Two signatures of 16 bits + 32-bit tag + shared flag = 65 bits/entry.
+        let mut t = SpTable::new(2, None);
+        t.store(eid(1), sig(1));
+        assert_eq!(t.storage_bits(16), 65);
+        t.store(eid(2), sig(1));
+        assert_eq!(t.storage_bits(16), 130);
+    }
+
+    #[test]
+    fn set_associative_table_suffers_only_set_conflicts() {
+        // 2 sets x 1 way: ids 1 and 3 conflict (both odd); id 2 does not.
+        let mut t = SpTable::set_associative(1, 2, 1);
+        t.store(eid(1), sig(1));
+        t.store(eid(2), sig(2));
+        assert_eq!(t.len(), 2);
+        // id 3 evicts id 1 (same set) but leaves id 2 alone.
+        t.store(eid(3), sig(4));
+        assert!(t.history(eid(1)).is_none(), "conflict victim");
+        assert!(t.history(eid(2)).is_some(), "other set untouched");
+        assert!(t.history(eid(3)).is_some());
+    }
+
+    #[test]
+    fn set_associative_ways_hold_conflicting_ids() {
+        // 2 sets x 2 ways: three odd ids exceed the odd set's ways.
+        let mut t = SpTable::set_associative(1, 2, 2);
+        t.store(eid(1), sig(1));
+        t.store(eid(3), sig(2));
+        assert_eq!(t.len(), 2);
+        t.store(eid(5), sig(4));
+        assert_eq!(t.len(), 2, "set is bounded by its ways");
+        assert!(t.history(eid(1)).is_none(), "LRU of the set evicted");
+        assert!(t.history(eid(3)).is_some());
+        assert!(t.history(eid(5)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_rejected() {
+        SpTable::set_associative(1, 0, 4);
+    }
+
+    #[test]
+    fn lock_table_records_holder_sequence() {
+        let mut lt = LockTable::new(2);
+        assert!(lt.is_empty());
+        lt.record_release(LockId::new(1), CoreId::new(3));
+        lt.record_release(LockId::new(1), CoreId::new(8));
+        let holders = lt.recent_holders(LockId::new(1));
+        assert!(holders.contains(CoreId::new(3)));
+        assert!(holders.contains(CoreId::new(8)));
+        assert_eq!(holders.len(), 2);
+        // Depth 2: a third release pushes the first holder out.
+        lt.record_release(LockId::new(1), CoreId::new(0));
+        let holders = lt.recent_holders(LockId::new(1));
+        assert!(!holders.contains(CoreId::new(3)));
+        assert_eq!(holders.len(), 2);
+    }
+
+    #[test]
+    fn unknown_lock_has_no_holders() {
+        let lt = LockTable::new(2);
+        assert!(lt.recent_holders(LockId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn shared_lock_table_is_shared() {
+        let shared = shared_lock_table(2);
+        let clone = Rc::clone(&shared);
+        clone
+            .borrow_mut()
+            .record_release(LockId::new(1), CoreId::new(4));
+        assert!(shared
+            .borrow()
+            .recent_holders(LockId::new(1))
+            .contains(CoreId::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_history_rejected() {
+        SigHistory::new(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Physical address newtypes.
+
+use spcp_sim::CoreId;
+use std::fmt;
+
+/// Cache block (line) size in bytes, fixed at 64 B as in Table 4.
+pub const BLOCK_BYTES: u64 = 64;
+
+const BLOCK_SHIFT: u32 = BLOCK_BYTES.trailing_zeros();
+
+/// A byte-granularity physical address.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_mem::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.block().base().raw(), 0x1200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Byte offset within the containing block.
+    #[inline]
+    pub const fn block_offset(self) -> u64 {
+        self.0 & (BLOCK_BYTES - 1)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-block-granularity address (byte address / 64).
+///
+/// This is the granularity at which coherence is maintained and at which
+/// the directory and the ADDR predictor are indexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block number.
+    #[inline]
+    pub const fn from_index(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block number.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the block.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The macroblock of `macro_bytes` containing this block.
+    ///
+    /// Macroblock indexing is the space optimization used by the paper's
+    /// ADDR comparison predictor (256 B macroblocks by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macro_bytes` is not a power of two or is smaller than the
+    /// block size.
+    #[inline]
+    pub fn macro_block(self, macro_bytes: u64) -> MacroBlockAddr {
+        assert!(
+            macro_bytes.is_power_of_two() && macro_bytes >= BLOCK_BYTES,
+            "macroblock size must be a power of two ≥ {BLOCK_BYTES}"
+        );
+        let blocks_per = macro_bytes / BLOCK_BYTES;
+        MacroBlockAddr(self.0 / blocks_per)
+    }
+
+    /// The home tile of this block under address interleaving.
+    ///
+    /// The distributed directory stripes blocks across the `num_tiles` tiles
+    /// round-robin by block number, the standard tiled-CMP arrangement.
+    #[inline]
+    pub fn home(self, num_tiles: usize) -> CoreId {
+        CoreId::new((self.0 % num_tiles as u64) as usize)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:0x{:x}", self.0)
+    }
+}
+
+/// A macroblock address (group of consecutive blocks) for coarse-grain
+/// predictor indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacroBlockAddr(u64);
+
+impl MacroBlockAddr {
+    /// The macroblock number.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MacroBlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mblk:0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_extraction_and_offset() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.block().index(), 0x1234 / 64);
+        assert_eq!(a.block_offset(), 0x34);
+        assert_eq!(a.block().base().raw(), 0x1200);
+    }
+
+    #[test]
+    fn addresses_in_same_block_share_block_addr() {
+        let base = Addr::new(0x4000);
+        for off in 0..BLOCK_BYTES {
+            assert_eq!(Addr::new(0x4000 + off).block(), base.block());
+        }
+        assert_ne!(Addr::new(0x4000 + BLOCK_BYTES).block(), base.block());
+    }
+
+    #[test]
+    fn block_index_round_trip() {
+        let b = BlockAddr::from_index(99);
+        assert_eq!(b.index(), 99);
+        assert_eq!(b.base().raw(), 99 * BLOCK_BYTES);
+        assert_eq!(b.base().block(), b);
+    }
+
+    #[test]
+    fn macroblock_grouping_256b() {
+        // 256 B macroblock = 4 consecutive 64 B blocks.
+        let m0 = BlockAddr::from_index(0).macro_block(256);
+        assert_eq!(BlockAddr::from_index(3).macro_block(256), m0);
+        assert_ne!(BlockAddr::from_index(4).macro_block(256), m0);
+        assert_eq!(BlockAddr::from_index(4).macro_block(256).index(), 1);
+    }
+
+    #[test]
+    fn macroblock_of_block_size_is_identity() {
+        let b = BlockAddr::from_index(17);
+        assert_eq!(b.macro_block(BLOCK_BYTES).index(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn macroblock_rejects_non_power_of_two() {
+        BlockAddr::from_index(0).macro_block(100);
+    }
+
+    #[test]
+    fn home_is_round_robin_interleaved() {
+        assert_eq!(BlockAddr::from_index(0).home(16).index(), 0);
+        assert_eq!(BlockAddr::from_index(5).home(16).index(), 5);
+        assert_eq!(BlockAddr::from_index(16).home(16).index(), 0);
+        assert_eq!(BlockAddr::from_index(21).home(16).index(), 5);
+    }
+
+    #[test]
+    fn homes_cover_all_tiles() {
+        let mut seen = [false; 16];
+        for i in 0..64 {
+            seen[BlockAddr::from_index(i).home(16).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(BlockAddr::from_index(16).to_string(), "blk:0x10");
+        assert_eq!(BlockAddr::from_index(16).macro_block(256).to_string(), "mblk:0x4");
+    }
+}

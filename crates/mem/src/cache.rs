@@ -1,0 +1,387 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use crate::addr::{BlockAddr, BLOCK_BYTES};
+
+/// Geometry and timing of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_mem::CacheConfig;
+///
+/// let l2 = CacheConfig::l2_1mb();
+/// assert_eq!(l2.num_sets(), 2048);
+/// assert_eq!(l2.assoc, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Line size in bytes (fixed at 64 in this study).
+    pub block_bytes: u64,
+    /// Tag array access latency in cycles.
+    pub tag_cycles: u64,
+    /// Data array access latency in cycles.
+    pub data_cycles: u64,
+}
+
+impl CacheConfig {
+    /// The paper's private L2: 1 MB, 8-way, 64 B lines, 2-cycle tag,
+    /// 6-cycle data (Table 4).
+    pub fn l2_1mb() -> Self {
+        CacheConfig {
+            size_bytes: 1 << 20,
+            assoc: 8,
+            block_bytes: BLOCK_BYTES,
+            tag_cycles: 2,
+            data_cycles: 6,
+        }
+    }
+
+    /// The paper's L1: 16 KB, direct-mapped, 64 B lines, 2-cycle
+    /// load-to-use (Table 4).
+    pub fn l1_16kb() -> Self {
+        CacheConfig {
+            size_bytes: 16 << 10,
+            assoc: 1,
+            block_bytes: BLOCK_BYTES,
+            tag_cycles: 1,
+            data_cycles: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or sets are zero.
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / self.block_bytes;
+        let sets = lines / self.assoc as u64;
+        assert!(
+            sets > 0 && sets * self.assoc as u64 * self.block_bytes == self.size_bytes,
+            "invalid cache geometry: {self:?}"
+        );
+        sets as usize
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> usize {
+        (self.size_bytes / self.block_bytes) as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<T> {
+    tag: BlockAddr,
+    payload: T,
+    stamp: u64,
+}
+
+/// A set-associative cache mapping [`BlockAddr`] to a caller-chosen payload
+/// with true-LRU replacement.
+///
+/// The same structure backs the L1/L2 models (payload = MESIF state) and the
+/// finite-capacity predictor tables of the comparison study (payload =
+/// predictor entry).
+///
+/// # Examples
+///
+/// ```
+/// use spcp_mem::{BlockAddr, CacheConfig, SetAssocCache};
+///
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::l1_16kb());
+/// c.insert(BlockAddr::from_index(1), 42);
+/// assert_eq!(c.lookup(BlockAddr::from_index(1)), Some(&mut 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T> {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way<T>>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> SetAssocCache<T> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        SetAssocCache {
+            cfg,
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a block, refreshing its LRU position on a hit.
+    pub fn lookup(&mut self, block: BlockAddr) -> Option<&mut T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(block);
+        let way = self.sets[idx].iter_mut().find(|w| w.tag == block);
+        match way {
+            Some(w) => {
+                self.hits += 1;
+                w.stamp = clock;
+                Some(&mut w.payload)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a block without touching LRU state or hit/miss counters
+    /// (a coherence *probe*, as opposed to a demand access).
+    pub fn probe(&self, block: BlockAddr) -> Option<&T> {
+        let idx = self.set_index(block);
+        self.sets[idx].iter().find(|w| w.tag == block).map(|w| &w.payload)
+    }
+
+    /// Mutable probe without LRU/counter side effects.
+    pub fn probe_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
+        let idx = self.set_index(block);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.tag == block)
+            .map(|w| &mut w.payload)
+    }
+
+    /// Inserts a block, returning the victim `(block, payload)` if a line
+    /// had to be evicted.
+    ///
+    /// Inserting a block that is already present replaces its payload and
+    /// returns the old payload as a pseudo-victim of the same block.
+    pub fn insert(&mut self, block: BlockAddr, payload: T) -> Option<(BlockAddr, T)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.cfg.assoc;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+
+        if let Some(w) = set.iter_mut().find(|w| w.tag == block) {
+            w.stamp = clock;
+            let old = std::mem::replace(&mut w.payload, payload);
+            return Some((block, old));
+        }
+
+        if set.len() < assoc {
+            set.push(Way {
+                tag: block,
+                payload,
+                stamp: clock,
+            });
+            return None;
+        }
+
+        // Evict the least recently used way.
+        let (victim_idx, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
+            .expect("non-empty set");
+        let victim = std::mem::replace(
+            &mut set[victim_idx],
+            Way {
+                tag: block,
+                payload,
+                stamp: clock,
+            },
+        );
+        Some((victim.tag, victim.payload))
+    }
+
+    /// Removes a block, returning its payload if it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.tag == block)?;
+        Some(set.swap_remove(pos).payload)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Demand-access hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand-access misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Iterates over all resident `(block, payload)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (w.tag, &w.payload)))
+    }
+
+    /// Removes every line.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: usize, sets: usize) -> SetAssocCache<u64> {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: (assoc * sets) as u64 * BLOCK_BYTES,
+            assoc,
+            block_bytes: BLOCK_BYTES,
+            tag_cycles: 1,
+            data_cycles: 1,
+        })
+    }
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn geometry_of_paper_caches() {
+        assert_eq!(CacheConfig::l2_1mb().num_sets(), 2048);
+        assert_eq!(CacheConfig::l2_1mb().num_lines(), 16384);
+        assert_eq!(CacheConfig::l1_16kb().num_sets(), 256);
+        assert_eq!(CacheConfig::l1_16kb().assoc, 1);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2, 2);
+        assert!(c.lookup(blk(0)).is_none());
+        c.insert(blk(0), 7);
+        assert_eq!(c.lookup(blk(0)), Some(&mut 7));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, 1);
+        c.insert(blk(0), 0);
+        c.insert(blk(1), 1);
+        // Touch block 0 so block 1 becomes LRU.
+        c.lookup(blk(0));
+        let victim = c.insert(blk(2), 2).expect("set full, must evict");
+        assert_eq!(victim, (blk(1), 1));
+        assert!(c.probe(blk(0)).is_some());
+        assert!(c.probe(blk(1)).is_none());
+        assert!(c.probe(blk(2)).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_refresh_lru() {
+        let mut c = tiny(2, 1);
+        c.insert(blk(0), 0);
+        c.insert(blk(1), 1);
+        // Probe (not lookup) block 0: it must remain LRU.
+        assert_eq!(c.probe(blk(0)), Some(&0));
+        let victim = c.insert(blk(2), 2).unwrap();
+        assert_eq!(victim.0, blk(0));
+    }
+
+    #[test]
+    fn reinsert_replaces_payload() {
+        let mut c = tiny(2, 1);
+        c.insert(blk(0), 1);
+        let old = c.insert(blk(0), 2);
+        assert_eq!(old, Some((blk(0), 1)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.probe(blk(0)), Some(&2));
+    }
+
+    #[test]
+    fn blocks_map_to_distinct_sets() {
+        let mut c = tiny(1, 4);
+        // Blocks 0..4 land in different sets of a 4-set cache: no evictions.
+        for i in 0..4 {
+            assert!(c.insert(blk(i), i).is_none());
+        }
+        assert_eq!(c.len(), 4);
+        // Block 4 conflicts with block 0 (direct-mapped).
+        let victim = c.insert(blk(4), 4).unwrap();
+        assert_eq!(victim.0, blk(0));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(2, 2);
+        c.insert(blk(3), 33);
+        assert_eq!(c.invalidate(blk(3)), Some(33));
+        assert_eq!(c.invalidate(blk(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn probe_mut_allows_state_updates() {
+        let mut c = tiny(2, 2);
+        c.insert(blk(1), 5);
+        *c.probe_mut(blk(1)).unwrap() = 9;
+        assert_eq!(c.probe(blk(1)), Some(&9));
+        // Neither insert nor probe_mut counts as a demand access.
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+
+    #[test]
+    fn iter_visits_all_lines() {
+        let mut c = tiny(2, 2);
+        c.insert(blk(0), 0);
+        c.insert(blk(1), 1);
+        c.insert(blk(2), 2);
+        let mut blocks: Vec<u64> = c.iter().map(|(b, _)| b.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = tiny(2, 2);
+        c.insert(blk(0), 0);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn bad_geometry_rejected() {
+        let _ = CacheConfig {
+            size_bytes: 100, // not divisible by 64
+            assoc: 1,
+            block_bytes: BLOCK_BYTES,
+            tag_cycles: 1,
+            data_cycles: 1,
+        }
+        .num_sets();
+    }
+}

@@ -1,0 +1,32 @@
+//! Memory substrate: addresses, set-associative caches, MESIF line states
+//! and the full-map coherence directory.
+//!
+//! The paper's machine (Table 4) has per-tile private L1 (16 KB,
+//! direct-mapped) and L2 (1 MB, 8-way, 64 B lines, LRU) caches kept coherent
+//! by a distributed full-map directory implementing the MESIF protocol. This
+//! crate supplies those structures as data types; the protocol *logic* lives
+//! in `spcp-system`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spcp_mem::{Addr, CacheConfig, SetAssocCache};
+//!
+//! let mut l2: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l2_1mb());
+//! let block = Addr::new(0x4000).block();
+//! assert!(l2.lookup(block).is_none());
+//! l2.insert(block, ());
+//! assert!(l2.lookup(block).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod directory;
+pub mod state;
+
+pub use addr::{Addr, BlockAddr, MacroBlockAddr, BLOCK_BYTES};
+pub use cache::{CacheConfig, SetAssocCache};
+pub use directory::{DirEntry, Directory};
+pub use state::LineState;

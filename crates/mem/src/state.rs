@@ -1,0 +1,117 @@
+//! MESIF cache-line states.
+
+use std::fmt;
+
+/// The MESIF coherence state of a cache line.
+///
+/// MESIF extends MESI with a **Forward** state: exactly one of the sharers
+/// of a clean line is designated the forwarder and answers cache-to-cache
+/// transfer requests for clean data, which is what lets a directory protocol
+/// service read misses from a peer cache instead of memory. The paper's
+/// baseline protocol is a distributed directory-based MESIF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// Dirty, exclusive to this cache.
+    Modified,
+    /// Clean, exclusive to this cache.
+    Exclusive,
+    /// Clean, possibly in other caches; this copy does not forward.
+    Shared,
+    /// Not present / stale.
+    #[default]
+    Invalid,
+    /// Clean, shared, and designated to forward data to requesters.
+    Forward,
+}
+
+impl LineState {
+    /// Whether the line holds usable data.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Whether a cache holding the line in this state answers a predicted
+    /// or forwarded request with data (§4.5: Exclusive, Modified, or
+    /// Forwarding state).
+    #[inline]
+    pub fn can_supply_data(self) -> bool {
+        matches!(
+            self,
+            LineState::Modified | LineState::Exclusive | LineState::Forward
+        )
+    }
+
+    /// Whether the local core may write without a coherence transaction.
+    #[inline]
+    pub fn is_writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// Whether eviction of the line must write data back to memory.
+    #[inline]
+    pub fn needs_writeback(self) -> bool {
+        self == LineState::Modified
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LineState::Modified => "M",
+            LineState::Exclusive => "E",
+            LineState::Shared => "S",
+            LineState::Invalid => "I",
+            LineState::Forward => "F",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+        assert!(!LineState::Invalid.is_valid());
+    }
+
+    #[test]
+    fn suppliers_are_m_e_f() {
+        assert!(LineState::Modified.can_supply_data());
+        assert!(LineState::Exclusive.can_supply_data());
+        assert!(LineState::Forward.can_supply_data());
+        assert!(!LineState::Shared.can_supply_data());
+        assert!(!LineState::Invalid.can_supply_data());
+    }
+
+    #[test]
+    fn writable_states() {
+        assert!(LineState::Modified.is_writable());
+        assert!(LineState::Exclusive.is_writable());
+        assert!(!LineState::Shared.is_writable());
+        assert!(!LineState::Forward.is_writable());
+        assert!(!LineState::Invalid.is_writable());
+    }
+
+    #[test]
+    fn only_modified_writes_back() {
+        assert!(LineState::Modified.needs_writeback());
+        for s in [
+            LineState::Exclusive,
+            LineState::Shared,
+            LineState::Invalid,
+            LineState::Forward,
+        ] {
+            assert!(!s.needs_writeback());
+        }
+    }
+
+    #[test]
+    fn display_single_letters() {
+        assert_eq!(LineState::Modified.to_string(), "M");
+        assert_eq!(LineState::Forward.to_string(), "F");
+    }
+}

@@ -1,0 +1,420 @@
+//! The timed network fabric: wormhole-approximate contention, bandwidth and
+//! energy accounting.
+
+use crate::mesh::{Link, Mesh};
+use crate::message::MsgKind;
+use spcp_sim::{CoreId, Cycle};
+use std::collections::HashMap;
+
+/// Configuration of the mesh NoC (defaults = Table 4 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use spcp_noc::NocConfig;
+///
+/// let cfg = NocConfig::default();
+/// assert_eq!(cfg.width, 4);
+/// assert_eq!(cfg.router_cycles, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocConfig {
+    /// Mesh width (columns). Paper: 4.
+    pub width: usize,
+    /// Mesh height (rows). Paper: 4.
+    pub height: usize,
+    /// Router pipeline depth in cycles. Paper: 2-stage.
+    pub router_cycles: u64,
+    /// Link traversal latency in cycles.
+    pub link_cycles: u64,
+    /// Flit width in bytes (serialization granularity).
+    pub flit_bytes: u64,
+    /// Energy to move one byte over one link, in arbitrary units.
+    pub link_energy_per_byte: f64,
+    /// Energy to move one byte through one router; the paper's §5.3 model
+    /// sets this to 4× the link energy.
+    pub router_energy_per_byte: f64,
+    /// When `false`, link contention is ignored and every message sees the
+    /// uncontended pipeline latency (useful for analytic tests).
+    pub model_contention: bool,
+    /// Virtual channels per directed link: concurrent reservations a link
+    /// can hold before the head flit must queue.
+    pub virtual_channels: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        let link = 1.0;
+        NocConfig {
+            width: 4,
+            height: 4,
+            router_cycles: 2,
+            link_cycles: 1,
+            flit_bytes: 16,
+            link_energy_per_byte: link,
+            router_energy_per_byte: 4.0 * link,
+            model_contention: true,
+            virtual_channels: 4,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Aggregate traffic statistics for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NocStats {
+    /// Number of messages injected.
+    pub messages: u64,
+    /// Total bytes injected (sum of message sizes).
+    pub bytes_injected: u64,
+    /// Total byte·hops moved (bytes × links traversed); the bandwidth
+    /// measure used for the paper's Figure 9.
+    pub byte_hops: u64,
+    /// Byte·hops of control-only messages (requests, probes, acks); the
+    /// "request bandwidth" the destination-set-prediction literature
+    /// compares on.
+    pub ctrl_byte_hops: u64,
+    /// Total energy consumed in links and routers (arbitrary units).
+    pub energy: f64,
+    /// Cycles messages spent waiting for contended links.
+    pub contention_cycles: u64,
+}
+
+impl NocStats {
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &NocStats) {
+        self.messages += other.messages;
+        self.bytes_injected += other.bytes_injected;
+        self.byte_hops += other.byte_hops;
+        self.ctrl_byte_hops += other.ctrl_byte_hops;
+        self.energy += other.energy;
+        self.contention_cycles += other.contention_cycles;
+    }
+}
+
+/// The timed mesh network.
+///
+/// `Fabric` routes each message along its deterministic X-Y path, reserving
+/// each directed link for the message's serialization time. The head flit
+/// pays `router_cycles + link_cycles` per hop; the tail occupies each link
+/// for `ceil(bytes / flit_bytes)` cycles, so back-to-back messages over a
+/// shared link queue behind each other — a faithful first-order wormhole
+/// approximation without per-flit simulation.
+///
+/// Zero-hop messages (to the local tile) are delivered immediately and add
+/// no traffic.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_noc::{Fabric, MsgKind, NocConfig};
+/// use spcp_sim::{CoreId, Cycle};
+///
+/// let mut f = Fabric::new(NocConfig::default());
+/// let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+/// // one hop: 2-cycle router + 1-cycle link
+/// assert_eq!(t1, Cycle::new(3));
+/// assert_eq!(f.stats().messages, 1);
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    mesh: Mesh,
+    cfg: NocConfig,
+    /// Next cycle at which each virtual channel of each directed link is
+    /// free.
+    link_free: HashMap<Link, Vec<Cycle>>,
+    stats: NocStats,
+}
+
+impl Fabric {
+    /// Creates a fabric from a configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        Fabric {
+            mesh: Mesh::new(cfg.width, cfg.height),
+            cfg,
+            link_free: HashMap::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Resets statistics and link reservations (used between measurement
+    /// phases).
+    pub fn reset(&mut self) {
+        self.link_free.clear();
+        self.stats = NocStats::default();
+    }
+
+    /// Number of flits a message of `bytes` serializes into.
+    fn flits(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.cfg.flit_bytes).max(1)
+    }
+
+    /// Sends one message, returning its arrival time at `dst`.
+    ///
+    /// Accounts bandwidth and energy, and models head-of-line link
+    /// contention when enabled. A message to the local tile arrives
+    /// immediately.
+    pub fn send(&mut self, src: CoreId, dst: CoreId, kind: MsgKind, depart: Cycle) -> Cycle {
+        let bytes = kind.bytes();
+        self.stats.messages += 1;
+        self.stats.bytes_injected += bytes;
+
+        if src == dst {
+            return depart;
+        }
+
+        let route = self.mesh.route(src, dst);
+        let hops = route.len() as u64;
+        self.stats.byte_hops += bytes * hops;
+        if !kind.carries_data() {
+            self.stats.ctrl_byte_hops += bytes * hops;
+        }
+        // §5.3 model: each hop moves the bytes through one router + one link.
+        self.stats.energy += bytes as f64
+            * hops as f64
+            * (self.cfg.link_energy_per_byte + self.cfg.router_energy_per_byte);
+
+        let flits = self.flits(bytes);
+        let vcs = self.cfg.virtual_channels.max(1);
+        let mut head = depart;
+        for link in route {
+            // Router pipeline for the head flit.
+            head += self.cfg.router_cycles;
+            if self.cfg.model_contention {
+                let slots = self
+                    .link_free
+                    .entry(link)
+                    .or_insert_with(|| vec![Cycle::ZERO; vcs]);
+                // Grab the earliest-free virtual channel.
+                let slot = slots
+                    .iter_mut()
+                    .min_by_key(|c| **c)
+                    .expect("at least one VC");
+                if *slot > head {
+                    self.stats.contention_cycles += (*slot - head).as_u64();
+                    head = *slot;
+                }
+                // The channel is busy for the serialization time of the
+                // body.
+                *slot = head + flits * self.cfg.link_cycles;
+            }
+            head += self.cfg.link_cycles;
+        }
+        head
+    }
+
+    /// Accounts a message's bandwidth and energy without timing it or
+    /// reserving links.
+    ///
+    /// Used for background traffic that real hardware aggregates or
+    /// combines off the critical path (e.g. snoop responses on an ordered
+    /// interconnect): the bytes are real, the serialization is not
+    /// modelled.
+    pub fn send_untimed(&mut self, src: CoreId, dst: CoreId, kind: MsgKind) {
+        let bytes = kind.bytes();
+        self.stats.messages += 1;
+        self.stats.bytes_injected += bytes;
+        if src == dst {
+            return;
+        }
+        let hops = self.mesh.hops(src, dst) as u64;
+        self.stats.byte_hops += bytes * hops;
+        if !kind.carries_data() {
+            self.stats.ctrl_byte_hops += bytes * hops;
+        }
+        self.stats.energy += bytes as f64
+            * hops as f64
+            * (self.cfg.link_energy_per_byte + self.cfg.router_energy_per_byte);
+    }
+
+    /// Sends the same message to every core in `targets`, returning the
+    /// latest arrival. Used for invalidation fan-out and snoop broadcast.
+    pub fn multicast(
+        &mut self,
+        src: CoreId,
+        targets: impl IntoIterator<Item = CoreId>,
+        kind: MsgKind,
+        depart: Cycle,
+    ) -> Cycle {
+        let mut latest = depart;
+        for dst in targets {
+            let t = self.send(src, dst, kind, depart);
+            latest = latest.max(t);
+        }
+        latest
+    }
+
+    /// Uncontended latency of a `bytes`-sized message over `hops` hops.
+    ///
+    /// This is the analytic pipeline latency (no queuing):
+    /// `hops × (router + link)`.
+    pub fn pipe_latency(&self, hops: u64) -> u64 {
+        hops * (self.cfg.router_cycles + self.cfg.link_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(NocConfig::default())
+    }
+
+    #[test]
+    fn local_delivery_is_instant() {
+        let mut f = fabric();
+        let t = f.send(CoreId::new(3), CoreId::new(3), MsgKind::Request, Cycle::new(10));
+        assert_eq!(t, Cycle::new(10));
+        assert_eq!(f.stats().byte_hops, 0);
+        assert_eq!(f.stats().messages, 1);
+    }
+
+    #[test]
+    fn one_hop_latency_is_router_plus_link() {
+        let mut f = fabric();
+        let t = f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+        assert_eq!(t.as_u64(), 3);
+    }
+
+    #[test]
+    fn corner_to_corner_latency() {
+        let mut f = fabric();
+        // 6 hops * (2+1) = 18 cycles uncontended.
+        let t = f.send(CoreId::new(0), CoreId::new(15), MsgKind::Request, Cycle::ZERO);
+        assert_eq!(t.as_u64(), 18);
+    }
+
+    #[test]
+    fn bandwidth_counts_byte_hops() {
+        let mut f = fabric();
+        f.send(CoreId::new(0), CoreId::new(2), MsgKind::DataResponse, Cycle::ZERO);
+        // 72 bytes * 2 hops
+        assert_eq!(f.stats().byte_hops, 144);
+        assert_eq!(f.stats().bytes_injected, 72);
+    }
+
+    #[test]
+    fn energy_uses_router_4x_link_model() {
+        let cfg = NocConfig::default();
+        let mut f = Fabric::new(cfg.clone());
+        f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+        let expected = 8.0 * 1.0 * (cfg.link_energy_per_byte + cfg.router_energy_per_byte);
+        assert!((f.stats().energy - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_delays_message_when_vcs_exhausted() {
+        let mut f = Fabric::new(NocConfig {
+            virtual_channels: 1,
+            ..NocConfig::default()
+        });
+        // Two data messages over the same single-VC link at the same cycle.
+        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        assert!(t2 > t1, "second message must queue behind the first");
+        assert!(f.stats().contention_cycles > 0);
+    }
+
+    #[test]
+    fn virtual_channels_absorb_small_bursts() {
+        let mut f = fabric(); // 4 VCs by default
+        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        assert_eq!(t1, t2, "a 4-VC link passes two concurrent messages");
+        // A fifth concurrent message exhausts the VCs.
+        for _ in 0..2 {
+            f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        }
+        let t5 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        assert!(t5 > t1);
+    }
+
+    #[test]
+    fn no_contention_when_disabled() {
+        let mut f = Fabric::new(NocConfig {
+            model_contention: false,
+            ..NocConfig::default()
+        });
+        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        assert_eq!(t1, t2);
+        assert_eq!(f.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let mut f = fabric();
+        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+        let t2 = f.send(CoreId::new(8), CoreId::new(9), MsgKind::Request, Cycle::ZERO);
+        assert_eq!(t1, t2);
+        assert_eq!(f.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn multicast_returns_latest_arrival() {
+        let mut f = fabric();
+        let t = f.multicast(
+            CoreId::new(0),
+            [CoreId::new(1), CoreId::new(15)],
+            MsgKind::Invalidate,
+            Cycle::ZERO,
+        );
+        // Farthest target dominates: 6 hops * 3 = 18; the shared initial
+        // link has spare virtual channels so nothing queues.
+        assert_eq!(t.as_u64(), 18);
+        assert_eq!(f.stats().messages, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = fabric();
+        f.send(CoreId::new(0), CoreId::new(5), MsgKind::DataResponse, Cycle::ZERO);
+        f.reset();
+        assert_eq!(*f.stats(), NocStats::default());
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let a = NocStats {
+            messages: 1,
+            bytes_injected: 8,
+            byte_hops: 16,
+            ctrl_byte_hops: 16,
+            energy: 5.0,
+            contention_cycles: 2,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.messages, 2);
+        assert_eq!(b.byte_hops, 32);
+        assert!((b.energy - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipe_latency_matches_uncontended_send() {
+        let f = fabric();
+        assert_eq!(f.pipe_latency(6), 18);
+    }
+}

@@ -1,0 +1,40 @@
+//! Network-on-chip model: a 2D mesh with deterministic X-Y routing.
+//!
+//! The paper's machine (Table 4) uses a 4×4 2D mesh operating at core
+//! frequency, wormhole switching, two-stage router pipelines and
+//! deterministic X-Y routing. This crate models exactly that:
+//!
+//! * [`Mesh`] — topology, coordinate math, X-Y route enumeration;
+//! * [`Fabric`] — the timed network: per-directed-link reservation gives a
+//!   wormhole-style contention approximation, plus bandwidth and energy
+//!   accounting (the paper's §5.3 analytical energy model: energy ∝ bytes
+//!   moved, router traversal = 4× link traversal);
+//! * [`Message`] / [`MsgKind`] — coherence messages with realistic sizes
+//!   (8 B control header, 64 B cache-line payload).
+//!
+//! # Examples
+//!
+//! ```
+//! use spcp_noc::{Fabric, Mesh, MsgKind, NocConfig};
+//! use spcp_sim::{Cycle, CoreId};
+//!
+//! let mut fabric = Fabric::new(NocConfig::default());
+//! let arrival = fabric.send(
+//!     CoreId::new(0),
+//!     CoreId::new(15),
+//!     MsgKind::DataResponse,
+//!     Cycle::ZERO,
+//! );
+//! assert!(arrival > Cycle::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod flit;
+pub mod mesh;
+pub mod message;
+
+pub use fabric::{Fabric, NocConfig, NocStats};
+pub use mesh::{Coord, Mesh};
+pub use message::{Message, MsgKind};

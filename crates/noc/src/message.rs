@@ -1,0 +1,138 @@
+//! Coherence message kinds and their on-wire sizes.
+
+use std::fmt;
+
+/// The kind of a coherence message travelling over the NoC.
+///
+/// Sizes follow the usual convention for directory-protocol studies: control
+/// messages carry an 8-byte header (command + block address + small bit
+/// vector), data messages carry the header plus a full 64-byte cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Miss request sent to the home directory.
+    Request,
+    /// Miss request sent directly to a *predicted* target cache (§4.5).
+    PredictedRequest,
+    /// Directory-to-owner forward of a request.
+    Forward,
+    /// Invalidation command to a sharer.
+    Invalidate,
+    /// Invalidation acknowledgment back to the requester.
+    InvalidateAck,
+    /// Negative response from a wrongly-predicted cache.
+    Nack,
+    /// Control-only response (e.g. directory grant without data).
+    ControlResponse,
+    /// Response carrying a full cache line.
+    DataResponse,
+    /// Write-back of a dirty line to its home node.
+    WriteBack,
+    /// Sharing-state update from a predicted node to the directory (§4.5).
+    DirectoryUpdate,
+    /// Broadcast snoop probe (snooping protocol).
+    SnoopProbe,
+    /// Snoop response without data.
+    SnoopResponse,
+}
+
+impl MsgKind {
+    /// Size of the control header in bytes.
+    pub const HEADER_BYTES: u64 = 8;
+    /// Size of a cache-line payload in bytes.
+    pub const LINE_BYTES: u64 = 64;
+
+    /// On-wire size of a message of this kind, in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MsgKind::DataResponse | MsgKind::WriteBack => {
+                Self::HEADER_BYTES + Self::LINE_BYTES
+            }
+            _ => Self::HEADER_BYTES,
+        }
+    }
+
+    /// Whether the message carries a data payload.
+    pub fn carries_data(self) -> bool {
+        matches!(self, MsgKind::DataResponse | MsgKind::WriteBack)
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::Request => "REQ",
+            MsgKind::PredictedRequest => "PRED-REQ",
+            MsgKind::Forward => "FWD",
+            MsgKind::Invalidate => "INV",
+            MsgKind::InvalidateAck => "INV-ACK",
+            MsgKind::Nack => "NACK",
+            MsgKind::ControlResponse => "CTRL-RSP",
+            MsgKind::DataResponse => "DATA-RSP",
+            MsgKind::WriteBack => "WB",
+            MsgKind::DirectoryUpdate => "DIR-UPD",
+            MsgKind::SnoopProbe => "SNOOP",
+            MsgKind::SnoopResponse => "SNOOP-RSP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-specified message: kind plus endpoints, used by diagnostics and
+/// trace dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending tile.
+    pub src: spcp_sim::CoreId,
+    /// Receiving tile.
+    pub dst: spcp_sim::CoreId,
+    /// Message kind (determines size).
+    pub kind: MsgKind,
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}→{}", self.kind, self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_sim::CoreId;
+
+    #[test]
+    fn data_messages_carry_line() {
+        assert_eq!(MsgKind::DataResponse.bytes(), 72);
+        assert_eq!(MsgKind::WriteBack.bytes(), 72);
+        assert!(MsgKind::DataResponse.carries_data());
+    }
+
+    #[test]
+    fn control_messages_are_header_only() {
+        for k in [
+            MsgKind::Request,
+            MsgKind::PredictedRequest,
+            MsgKind::Forward,
+            MsgKind::Invalidate,
+            MsgKind::InvalidateAck,
+            MsgKind::Nack,
+            MsgKind::ControlResponse,
+            MsgKind::DirectoryUpdate,
+            MsgKind::SnoopProbe,
+            MsgKind::SnoopResponse,
+        ] {
+            assert_eq!(k.bytes(), 8, "{k}");
+            assert!(!k.carries_data());
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Message {
+            src: CoreId::new(0),
+            dst: CoreId::new(3),
+            kind: MsgKind::Request,
+        };
+        assert_eq!(m.to_string(), "REQ core0→core3");
+    }
+}

@@ -1,0 +1,199 @@
+//! The simulation time base.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// `Cycle` is a transparent [`u64`] newtype: it exists so that cycle counts
+/// cannot be accidentally mixed with other integer quantities (byte counts,
+/// hop counts, core IDs) flowing through the simulator.
+///
+/// Arithmetic is saturating-free and will panic on overflow in debug builds,
+/// exactly like plain `u64` arithmetic; simulated runs are far below the
+/// `u64` range.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::Cycle;
+///
+/// let t = Cycle::new(100) + Cycle::new(50);
+/// assert_eq!(t.as_u64(), 150);
+/// assert!(t > Cycle::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero: the beginning of the simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two points in time.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two points in time.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero when `earlier`
+    /// is in the future (saturating).
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!(a + b, Cycle::new(14));
+        assert_eq!(a - b, Cycle::new(6));
+        assert_eq!(a + 5, Cycle::new(15));
+    }
+
+    #[test]
+    fn add_assign_variants() {
+        let mut t = Cycle::new(1);
+        t += Cycle::new(2);
+        t += 3;
+        assert_eq!(t, Cycle::new(6));
+        t -= Cycle::new(6);
+        assert_eq!(t, Cycle::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_since_clamps_at_zero() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(7);
+        assert_eq!(b.saturating_since(a), Cycle::new(4));
+        assert_eq!(a.saturating_since(b), Cycle::ZERO);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = Cycle::from(42u64);
+        let raw: u64 = c.into();
+        assert_eq!(raw, 42);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].iter().map(|&r| Cycle::new(r)).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(9).to_string(), "9 cyc");
+    }
+}

@@ -1,0 +1,315 @@
+//! Machine-model identifier types shared by every layer of the simulator.
+
+use std::fmt;
+
+/// Identifies one processor core (equivalently, one tile) in the CMP.
+///
+/// The paper's machine is a 16-core tiled CMP; the reproduction supports any
+/// core count up to [`CoreSet::MAX_CORES`].
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::ids::CoreId;
+///
+/// let c = CoreId::new(5);
+/// assert_eq!(c.index(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core ID from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= CoreSet::MAX_CORES`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < CoreSet::MAX_CORES,
+            "core index {index} exceeds the supported maximum of {}",
+            CoreSet::MAX_CORES
+        );
+        CoreId(index as u16)
+    }
+
+    /// The core's index, in `[0, num_cores)`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` core IDs.
+    pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n).map(CoreId::new)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A set of cores represented as a 64-bit vector.
+///
+/// This is the paper's *communication signature* representation: one bit per
+/// core, so a 16-core machine needs 16 bits per signature. All set algebra
+/// the prediction policies need (union for lock-holder sets, intersection
+/// for stable-pattern detection) is O(1).
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::ids::{CoreId, CoreSet};
+///
+/// let mut s = CoreSet::empty();
+/// s.insert(CoreId::new(3));
+/// s.insert(CoreId::new(7));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(CoreId::new(3)));
+/// let t = CoreSet::from_iter([CoreId::new(7)]);
+/// assert_eq!(s.intersect(t), t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CoreSet(u64);
+
+impl CoreSet {
+    /// The maximum number of cores representable in a set.
+    pub const MAX_CORES: usize = 64;
+
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        CoreSet(0)
+    }
+
+    /// The set containing exactly one core.
+    #[inline]
+    pub fn single(core: CoreId) -> Self {
+        CoreSet(1 << core.index())
+    }
+
+    /// The set of all `n` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_CORES`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::MAX_CORES);
+        if n == Self::MAX_CORES {
+            CoreSet(u64::MAX)
+        } else {
+            CoreSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from a raw bit vector.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        CoreSet(bits)
+    }
+
+    /// The raw bit vector.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `core` is a member.
+    #[inline]
+    pub fn contains(self, core: CoreId) -> bool {
+        self.0 & (1 << core.index()) != 0
+    }
+
+    /// Adds `core` to the set.
+    #[inline]
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.index();
+    }
+
+    /// Removes `core` from the set.
+    #[inline]
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1 << core.index());
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 | other.0)
+    }
+
+    /// Set intersection (the paper's *stable* hot-set combination).
+    #[inline]
+    pub const fn intersect(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 & !other.0)
+    }
+
+    /// Whether `self` is a superset of `other`.
+    ///
+    /// A prediction is *sufficient* exactly when the predicted set is a
+    /// superset of the true target set.
+    #[inline]
+    pub const fn is_superset(self, other: CoreSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterates over member cores in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(CoreId::new(idx))
+            }
+        })
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = CoreSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl Extend<CoreId> for CoreSet {
+    fn extend<I: IntoIterator<Item = CoreId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl fmt::Display for CoreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c = CoreId::new(15);
+        assert_eq!(c.index(), 15);
+        assert_eq!(c.to_string(), "core15");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn core_id_out_of_range_panics() {
+        CoreId::new(64);
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<usize> = CoreId::all(4).map(|c| c.index()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = CoreSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId::new(2));
+        s.insert(CoreId::new(9));
+        assert!(s.contains(CoreId::new(2)));
+        assert!(!s.contains(CoreId::new(3)));
+        assert_eq!(s.len(), 2);
+        s.remove(CoreId::new(2));
+        assert!(!s.contains(CoreId::new(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = CoreSet::from_bits(0b1010);
+        let b = CoreSet::from_bits(0b0110);
+        assert_eq!(a.union(b).bits(), 0b1110);
+        assert_eq!(a.intersect(b).bits(), 0b0010);
+        assert_eq!(a.difference(b).bits(), 0b1000);
+    }
+
+    #[test]
+    fn superset_semantics() {
+        let big = CoreSet::from_bits(0b111);
+        let small = CoreSet::from_bits(0b101);
+        assert!(big.is_superset(small));
+        assert!(!small.is_superset(big));
+        assert!(big.is_superset(CoreSet::empty()));
+        assert!(CoreSet::empty().is_superset(CoreSet::empty()));
+    }
+
+    #[test]
+    fn all_n_cores() {
+        assert_eq!(CoreSet::all(16).len(), 16);
+        assert_eq!(CoreSet::all(64).len(), 64);
+        assert_eq!(CoreSet::all(0).len(), 0);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = CoreSet::from_bits(0b1001_0010);
+        let v: Vec<usize> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(v, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: CoreSet = [CoreId::new(0), CoreId::new(5)].into_iter().collect();
+        s.extend([CoreId::new(6)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn display_formats_members() {
+        let s = CoreSet::from_bits(0b101);
+        assert_eq!(s.to_string(), "{0,2}");
+        assert_eq!(CoreSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn single_is_singleton() {
+        let s = CoreSet::single(CoreId::new(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(CoreId::new(7)));
+    }
+}

@@ -1,0 +1,336 @@
+//! Lightweight statistics accumulators used by every simulator component.
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::Counter;
+///
+/// let mut misses = Counter::new();
+/// misses.add(3);
+/// misses.incr();
+/// assert_eq!(misses.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// This count as a fraction of `total`, or 0.0 when `total` is zero.
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An online mean/min/max accumulator over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::MeanAccumulator;
+///
+/// let mut lat = MeanAccumulator::new();
+/// lat.record(10);
+/// lat.record(20);
+/// assert_eq!(lat.mean(), 15.0);
+/// assert_eq!(lat.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeanAccumulator {
+    sum: u128,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for MeanAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        MeanAccumulator {
+            sum: 0,
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.sum += sample as u128;
+        self.count += 1;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Arithmetic mean, or 0.0 when no samples were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` counts samples in `[bounds[i-1], bounds[i])`; the final
+/// implicit bucket is unbounded. Used for miss-latency and hot-set-size
+/// distributions.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sim::Histogram;
+///
+/// let mut h = Histogram::with_bounds(&[10, 100]);
+/// h.record(5);
+/// h.record(50);
+/// h.record(5000);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bucket counts (the last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds as configured.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples in bucket `idx`, or 0.0 when empty.
+    pub fn fraction(&self, idx: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[idx] as f64 / self.total as f64
+        }
+    }
+}
+
+/// Formats `x` as a percentage with one decimal, e.g. `42.3%`.
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.fraction_of(40), 0.25);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_fraction_of_zero_total() {
+        let mut c = Counter::new();
+        c.add(5);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn default_accumulator_matches_new() {
+        // A regression guard: a derived Default would zero `min` and make
+        // every later `min()` report 0.
+        let mut d = MeanAccumulator::default();
+        d.record(162);
+        assert_eq!(d.min(), Some(162));
+        assert_eq!(d.max(), Some(162));
+    }
+
+    #[test]
+    fn mean_accumulator_tracks_all_moments() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.min(), None);
+        for s in [4, 8, 12] {
+            m.record(s);
+        }
+        assert_eq!(m.mean(), 8.0);
+        assert_eq!(m.min(), Some(4));
+        assert_eq!(m.max(), Some(12));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 24);
+    }
+
+    #[test]
+    fn mean_accumulator_merge() {
+        let mut a = MeanAccumulator::new();
+        a.record(1);
+        let mut b = MeanAccumulator::new();
+        b.record(3);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(5));
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_minmax() {
+        let mut a = MeanAccumulator::new();
+        a.record(7);
+        a.merge(&MeanAccumulator::new());
+        assert_eq!(a.min(), Some(7));
+        assert_eq!(a.max(), Some(7));
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::with_bounds(&[2, 4, 8]);
+        for s in [0, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(s);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.fraction(0), 0.25);
+        assert_eq!(h.bounds(), &[2, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::with_bounds(&[5, 5]);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.1234), "12.3%");
+    }
+}

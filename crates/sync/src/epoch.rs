@@ -1,0 +1,294 @@
+//! Sync-epoch identification and per-core tracking.
+
+use crate::point::{StaticSyncId, SyncKind, SyncPoint};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Statically identifies a sync-epoch: the kind and static ID of the
+/// sync-point that begins it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochId {
+    /// Kind of the beginning sync-point.
+    pub kind: SyncKind,
+    /// Static ID of the beginning sync-point.
+    pub static_id: StaticSyncId,
+}
+
+impl EpochId {
+    /// Whether this epoch is a critical section (begins with a lock).
+    pub fn is_critical_section(&self) -> bool {
+        self.kind.begins_critical_section()
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.static_id)
+    }
+}
+
+/// One dynamic instance of a static sync-epoch: `(EpochId, instance)` is
+/// the paper's *dynamic ID*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochInstance {
+    /// The static epoch.
+    pub id: EpochId,
+    /// Zero-based occurrence number of this static epoch on this core.
+    pub instance: u64,
+}
+
+impl fmt::Display for EpochInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.id, self.instance)
+    }
+}
+
+/// The result of observing a sync-point: the epoch that just ended (if any
+/// code ran before this point) and the epoch that just began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTransition {
+    /// The instance that the sync-point terminated.
+    pub ended: Option<EpochInstance>,
+    /// The instance that the sync-point began.
+    pub started: EpochInstance,
+}
+
+/// Aggregate sync-epoch statistics for one core (Table 1 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Distinct static epochs observed.
+    pub static_epochs: usize,
+    /// Distinct static critical sections observed.
+    pub static_critical_sections: usize,
+    /// Total dynamic epoch instances begun.
+    pub dynamic_epochs: u64,
+    /// Total dynamic critical-section instances begun.
+    pub dynamic_critical_sections: u64,
+}
+
+/// Per-core run-time sync-epoch bookkeeping.
+///
+/// This models the hardware/library support of §4.1: synchronization
+/// primitives are annotated so the coherence controller learns the static ID
+/// of each executed sync-point; the tracker turns that stream into epoch
+/// begin/end transitions with dynamic instance numbers.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_sync::{EpochTracker, LockId, SyncPoint};
+///
+/// let mut t = EpochTracker::new();
+/// t.observe(SyncPoint::lock(LockId::new(1)));
+/// assert!(t.current().unwrap().id.is_critical_section());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochTracker {
+    current: Option<EpochInstance>,
+    instance_counts: HashMap<EpochId, u64>,
+    stats: EpochStats,
+}
+
+impl EpochTracker {
+    /// Creates a tracker with no epoch in flight.
+    pub fn new() -> Self {
+        EpochTracker::default()
+    }
+
+    /// The currently executing epoch instance, if a sync-point has been
+    /// observed yet.
+    pub fn current(&self) -> Option<EpochInstance> {
+        self.current
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EpochStats {
+        &self.stats
+    }
+
+    /// Number of dynamic instances of `id` begun so far.
+    pub fn instances_of(&self, id: EpochId) -> u64 {
+        self.instance_counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Observes a sync-point: ends the current epoch and begins the next.
+    ///
+    /// Every sync-point begins a new epoch, including `Unlock` (the interval
+    /// after a critical section is itself an epoch, per Figure 3).
+    pub fn observe(&mut self, point: SyncPoint) -> EpochTransition {
+        let id = EpochId {
+            kind: point.kind,
+            static_id: point.static_id,
+        };
+        let count = self.instance_counts.entry(id).or_insert(0);
+        if *count == 0 {
+            self.stats.static_epochs += 1;
+            if id.is_critical_section() {
+                self.stats.static_critical_sections += 1;
+            }
+        }
+        let started = EpochInstance {
+            id,
+            instance: *count,
+        };
+        *count += 1;
+        self.stats.dynamic_epochs += 1;
+        if id.is_critical_section() {
+            self.stats.dynamic_critical_sections += 1;
+        }
+        let ended = self.current.replace(started);
+        EpochTransition { ended, started }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::LockId;
+
+    fn barrier(id: u32) -> SyncPoint {
+        SyncPoint::barrier(StaticSyncId::new(id))
+    }
+
+    #[test]
+    fn first_point_ends_nothing() {
+        let mut t = EpochTracker::new();
+        let tr = t.observe(barrier(1));
+        assert!(tr.ended.is_none());
+        assert_eq!(tr.started.instance, 0);
+        assert_eq!(t.current(), Some(tr.started));
+    }
+
+    #[test]
+    fn repeated_static_epoch_increments_instance() {
+        let mut t = EpochTracker::new();
+        for expect in 0..5 {
+            let tr = t.observe(barrier(7));
+            assert_eq!(tr.started.instance, expect);
+        }
+        let id = EpochId {
+            kind: SyncKind::Barrier,
+            static_id: StaticSyncId::new(7),
+        };
+        assert_eq!(t.instances_of(id), 5);
+    }
+
+    #[test]
+    fn transition_chains_epochs() {
+        let mut t = EpochTracker::new();
+        let a = t.observe(barrier(1)).started;
+        let tr = t.observe(barrier(2));
+        assert_eq!(tr.ended, Some(a));
+        assert_ne!(tr.started.id, a.id);
+    }
+
+    #[test]
+    fn lock_epochs_are_critical_sections() {
+        let mut t = EpochTracker::new();
+        let tr = t.observe(SyncPoint::lock(LockId::new(3)));
+        assert!(tr.started.id.is_critical_section());
+        let tr = t.observe(SyncPoint::unlock(LockId::new(3)));
+        // The unlock *ends* the critical section and begins a plain epoch.
+        assert!(tr.ended.unwrap().id.is_critical_section());
+        assert!(!tr.started.id.is_critical_section());
+    }
+
+    #[test]
+    fn lock_and_unlock_are_distinct_epochs() {
+        let mut t = EpochTracker::new();
+        let l = t.observe(SyncPoint::lock(LockId::new(3))).started;
+        let u = t.observe(SyncPoint::unlock(LockId::new(3))).started;
+        assert_ne!(l.id, u.id); // same static id, different kind
+        assert_eq!(l.id.static_id, u.id.static_id);
+    }
+
+    #[test]
+    fn stats_count_statics_once() {
+        let mut t = EpochTracker::new();
+        t.observe(barrier(1));
+        t.observe(barrier(2));
+        t.observe(barrier(1));
+        t.observe(SyncPoint::lock(LockId::new(5)));
+        t.observe(SyncPoint::lock(LockId::new(5)));
+        let s = t.stats();
+        assert_eq!(s.static_epochs, 3); // barrier1, barrier2, lock5
+        assert_eq!(s.static_critical_sections, 1);
+        assert_eq!(s.dynamic_epochs, 5);
+        assert_eq!(s.dynamic_critical_sections, 2);
+    }
+
+    #[test]
+    fn distinct_barriers_with_same_kind_tracked_separately() {
+        let mut t = EpochTracker::new();
+        t.observe(barrier(1));
+        t.observe(barrier(2));
+        let id1 = EpochId { kind: SyncKind::Barrier, static_id: StaticSyncId::new(1) };
+        let id2 = EpochId { kind: SyncKind::Barrier, static_id: StaticSyncId::new(2) };
+        assert_eq!(t.instances_of(id1), 1);
+        assert_eq!(t.instances_of(id2), 1);
+    }
+
+    #[test]
+    fn display_of_instance() {
+        let mut t = EpochTracker::new();
+        let tr = t.observe(barrier(9));
+        assert_eq!(tr.started.to_string(), "(barrier@sp#9,0)");
+    }
+
+    #[test]
+    fn interleaved_epochs_keep_independent_instance_counters() {
+        let mut t = EpochTracker::new();
+        // A, B, A, B, A: instances must count per static epoch.
+        assert_eq!(t.observe(barrier(1)).started.instance, 0);
+        assert_eq!(t.observe(barrier(2)).started.instance, 0);
+        assert_eq!(t.observe(barrier(1)).started.instance, 1);
+        assert_eq!(t.observe(barrier(2)).started.instance, 1);
+        assert_eq!(t.observe(barrier(1)).started.instance, 2);
+    }
+
+    #[test]
+    fn lock_and_barrier_with_same_raw_id_are_distinct_epochs() {
+        let mut t = EpochTracker::new();
+        t.observe(barrier(3));
+        t.observe(SyncPoint::lock(LockId::new(3)));
+        let barrier_id = EpochId {
+            kind: SyncKind::Barrier,
+            static_id: StaticSyncId::new(3),
+        };
+        let lock_id = EpochId {
+            kind: SyncKind::Lock,
+            static_id: StaticSyncId::new(3),
+        };
+        assert_eq!(t.instances_of(barrier_id), 1);
+        assert_eq!(t.instances_of(lock_id), 1);
+    }
+
+    #[test]
+    fn full_critical_section_cycle_counts_each_boundary() {
+        let mut t = EpochTracker::new();
+        t.observe(barrier(1));
+        for _ in 0..3 {
+            t.observe(SyncPoint::lock(LockId::new(9)));
+            t.observe(SyncPoint::unlock(LockId::new(9)));
+        }
+        t.observe(barrier(2));
+        let s = t.stats();
+        assert_eq!(s.dynamic_epochs, 2 + 6);
+        assert_eq!(s.dynamic_critical_sections, 3);
+        // Statics: barrier1, barrier2, lock9, unlock9.
+        assert_eq!(s.static_epochs, 4);
+        assert_eq!(s.static_critical_sections, 1);
+    }
+
+    #[test]
+    fn other_sync_kinds_begin_epochs_too() {
+        let mut t = EpochTracker::new();
+        for kind in [SyncKind::Join, SyncKind::Wakeup, SyncKind::Broadcast] {
+            let tr = t.observe(SyncPoint::other(kind, StaticSyncId::new(1)));
+            assert_eq!(tr.started.id.kind, kind);
+            assert!(!tr.started.id.is_critical_section());
+        }
+        assert_eq!(t.stats().dynamic_epochs, 3);
+        assert_eq!(t.stats().static_epochs, 3, "same static id, distinct kinds");
+    }
+}

@@ -1,0 +1,37 @@
+//! Synchronization points and sync-epochs (§3.1 of the paper).
+//!
+//! A **sync-point** is an execution point where a synchronization routine is
+//! invoked (barrier, lock, unlock, ...). Each has a *static ID* (its call
+//! site, or the lock variable for lock points) and a *dynamic ID* (the
+//! occurrence number of that static ID at run time). A **sync-epoch** is the
+//! execution interval between two consecutive sync-points of one thread; it
+//! is named after the sync-point that begins it. A critical section is
+//! simply a sync-epoch that begins with a lock acquire.
+//!
+//! This crate provides the vocabulary types plus [`EpochTracker`], the
+//! per-core run-time bookkeeping that SP-prediction's hardware exposes:
+//! detecting epoch boundaries, assigning dynamic instance numbers, and
+//! accumulating the Table 1 statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use spcp_sync::{EpochTracker, StaticSyncId, SyncKind, SyncPoint};
+//!
+//! let mut t = EpochTracker::new();
+//! let barrier_a = SyncPoint::barrier(StaticSyncId::new(1));
+//! let tr = t.observe(barrier_a);
+//! assert!(tr.ended.is_none()); // nothing ran before the first sync-point
+//! assert_eq!(tr.started.instance, 0);
+//! let tr = t.observe(barrier_a);
+//! assert_eq!(tr.ended.unwrap().id, tr.started.id);
+//! assert_eq!(tr.started.instance, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod point;
+
+pub use epoch::{EpochId, EpochInstance, EpochStats, EpochTracker, EpochTransition};
+pub use point::{LockId, StaticSyncId, SyncKind, SyncPoint};

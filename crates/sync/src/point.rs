@@ -1,0 +1,202 @@
+//! Sync-point vocabulary types.
+
+use std::fmt;
+
+/// The kind of a synchronization routine, following the paper's taxonomy
+/// (§3.1): `barrier, join, wakeup, broadcast, lock, unlock`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// All threads rendezvous.
+    Barrier,
+    /// Thread join.
+    Join,
+    /// Condition-variable wakeup of one waiter.
+    Wakeup,
+    /// Condition-variable broadcast to all waiters.
+    Broadcast,
+    /// Mutex acquire — begins a critical section.
+    Lock,
+    /// Mutex release — ends a critical section.
+    Unlock,
+}
+
+impl SyncKind {
+    /// Whether an epoch beginning at this sync-point is a critical section.
+    pub fn begins_critical_section(self) -> bool {
+        self == SyncKind::Lock
+    }
+}
+
+impl fmt::Display for SyncKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SyncKind::Barrier => "barrier",
+            SyncKind::Join => "join",
+            SyncKind::Wakeup => "wakeup",
+            SyncKind::Broadcast => "broadcast",
+            SyncKind::Lock => "lock",
+            SyncKind::Unlock => "unlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statically identifies a sync-point in the program text: the program
+/// counter of the calling location, or the lock variable's address for lock
+/// points (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StaticSyncId(u32);
+
+impl StaticSyncId {
+    /// Creates a static sync-point ID.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        StaticSyncId(raw)
+    }
+
+    /// The raw identifier.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StaticSyncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sp#{}", self.0)
+    }
+}
+
+/// Identifies one lock variable. Critical sections protected by the same
+/// lock share one (globally visible) SP-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(u32);
+
+impl LockId {
+    /// Creates a lock ID.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        LockId(raw)
+    }
+
+    /// The raw identifier.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock#{}", self.0)
+    }
+}
+
+/// A sync-point as exposed to the prediction hardware: kind, static ID, and
+/// the lock variable for lock/unlock points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncPoint {
+    /// Routine kind.
+    pub kind: SyncKind,
+    /// Static identifier (call site / lock address).
+    pub static_id: StaticSyncId,
+    /// The lock variable, present exactly for `Lock`/`Unlock` points.
+    pub lock: Option<LockId>,
+}
+
+impl SyncPoint {
+    /// A barrier sync-point at the given call site.
+    pub fn barrier(static_id: StaticSyncId) -> Self {
+        SyncPoint {
+            kind: SyncKind::Barrier,
+            static_id,
+            lock: None,
+        }
+    }
+
+    /// A lock-acquire sync-point. The static ID of a lock point is derived
+    /// from the lock variable itself, as in the paper.
+    pub fn lock(lock: LockId) -> Self {
+        SyncPoint {
+            kind: SyncKind::Lock,
+            static_id: StaticSyncId::new(lock.raw()),
+            lock: Some(lock),
+        }
+    }
+
+    /// A lock-release sync-point.
+    pub fn unlock(lock: LockId) -> Self {
+        SyncPoint {
+            kind: SyncKind::Unlock,
+            static_id: StaticSyncId::new(lock.raw()),
+            lock: Some(lock),
+        }
+    }
+
+    /// A generic sync-point of any kind at a call site.
+    pub fn other(kind: SyncKind, static_id: StaticSyncId) -> Self {
+        SyncPoint {
+            kind,
+            static_id,
+            lock: None,
+        }
+    }
+}
+
+impl fmt::Display for SyncPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lock {
+            Some(l) => write!(f, "{}({})", self.kind, l),
+            None => write!(f, "{}({})", self.kind, self.static_id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_lock_begins_critical_section() {
+        assert!(SyncKind::Lock.begins_critical_section());
+        for k in [
+            SyncKind::Barrier,
+            SyncKind::Join,
+            SyncKind::Wakeup,
+            SyncKind::Broadcast,
+            SyncKind::Unlock,
+        ] {
+            assert!(!k.begins_critical_section());
+        }
+    }
+
+    #[test]
+    fn lock_points_carry_lock_id() {
+        let p = SyncPoint::lock(LockId::new(9));
+        assert_eq!(p.kind, SyncKind::Lock);
+        assert_eq!(p.lock, Some(LockId::new(9)));
+        assert_eq!(p.static_id.raw(), 9);
+    }
+
+    #[test]
+    fn unlock_matches_lock_static_id() {
+        let l = SyncPoint::lock(LockId::new(4));
+        let u = SyncPoint::unlock(LockId::new(4));
+        assert_eq!(l.static_id, u.static_id);
+        assert_ne!(l, u);
+    }
+
+    #[test]
+    fn barrier_has_no_lock() {
+        let b = SyncPoint::barrier(StaticSyncId::new(2));
+        assert_eq!(b.lock, None);
+        assert_eq!(b.kind, SyncKind::Barrier);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SyncPoint::barrier(StaticSyncId::new(1)).to_string(), "barrier(sp#1)");
+        assert_eq!(SyncPoint::lock(LockId::new(2)).to_string(), "lock(lock#2)");
+        assert_eq!(SyncKind::Broadcast.to_string(), "broadcast");
+    }
+}

@@ -1,0 +1,262 @@
+//! The synchronization runtime: global barriers and queued locks.
+
+use spcp_sim::{CoreId, Cycle};
+use spcp_sync::LockId;
+use std::collections::{HashMap, VecDeque};
+
+/// A rendezvous barrier over `n` cores.
+///
+/// All threads of a generated workload execute the same barrier sequence,
+/// so one shared arrival counter per "current" barrier suffices: a core
+/// arrives, and once all `n` have arrived everybody is released at the
+/// latest arrival time plus a fixed release cost.
+#[derive(Debug)]
+pub struct BarrierState {
+    n: usize,
+    arrived: Vec<Option<Cycle>>,
+    release_cost: u64,
+}
+
+impl BarrierState {
+    /// Creates the barrier runtime for `n` cores.
+    pub fn new(n: usize, release_cost: u64) -> Self {
+        BarrierState {
+            n,
+            arrived: vec![None; n],
+            release_cost,
+        }
+    }
+
+    /// Records `core` arriving at the current barrier at `time`.
+    ///
+    /// Returns `Some(release_time)` when this arrival completes the
+    /// rendezvous (the caller then wakes every participant and the barrier
+    /// resets); `None` while others are still running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core arrives twice at the same barrier generation.
+    pub fn arrive(&mut self, core: CoreId, time: Cycle) -> Option<Cycle> {
+        assert!(
+            self.arrived[core.index()].is_none(),
+            "{core} arrived twice at one barrier generation"
+        );
+        self.arrived[core.index()] = Some(time);
+        if self.arrived.iter().all(|a| a.is_some()) {
+            let latest = self
+                .arrived
+                .iter()
+                .map(|a| a.expect("all arrived"))
+                .max()
+                .expect("n > 0");
+            self.arrived = vec![None; self.n];
+            Some(latest + self.release_cost)
+        } else {
+            None
+        }
+    }
+
+    /// Number of cores currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.arrived.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// The machine's lock runtime: FIFO-queued mutexes with holder tracking.
+#[derive(Debug, Default)]
+pub struct LockRuntime {
+    /// `lock -> (current holder, release time if released)`.
+    holder: HashMap<LockId, CoreId>,
+    /// Pending acquirers in arrival order.
+    queue: HashMap<LockId, VecDeque<(CoreId, Cycle)>>,
+    /// Most recent releaser of each lock.
+    last_holder: HashMap<LockId, CoreId>,
+    /// Time at which each lock was last released.
+    free_at: HashMap<LockId, Cycle>,
+    transfer_cost: u64,
+}
+
+/// The outcome of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The lock was granted at the given time.
+    Granted {
+        /// When the core owns the lock.
+        at: Cycle,
+        /// Who held the lock before (None for first acquisition).
+        prev_holder: Option<CoreId>,
+    },
+    /// The lock is held; the core is queued and will be woken on release.
+    Queued,
+}
+
+impl LockRuntime {
+    /// Creates the runtime with the machine's lock-transfer cost.
+    pub fn new(transfer_cost: u64) -> Self {
+        LockRuntime {
+            transfer_cost,
+            ..LockRuntime::default()
+        }
+    }
+
+    /// `core` attempts to acquire `lock` at `time`.
+    pub fn acquire(&mut self, lock: LockId, core: CoreId, time: Cycle) -> Acquire {
+        if self.holder.contains_key(&lock) {
+            self.queue.entry(lock).or_default().push_back((core, time));
+            return Acquire::Queued;
+        }
+        self.holder.insert(lock, core);
+        let free_at = self.free_at.get(&lock).copied().unwrap_or(Cycle::ZERO);
+        let prev = self.last_holder.get(&lock).copied();
+        let cost = if prev.is_some() { self.transfer_cost } else { 0 };
+        Acquire::Granted {
+            at: time.max(free_at) + cost,
+            prev_holder: prev,
+        }
+    }
+
+    /// `core` releases `lock` at `time`.
+    ///
+    /// Returns the next grant `(core, grant_time, prev_holder)` when a
+    /// waiter was queued; the caller wakes that core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not hold `lock`.
+    pub fn release(
+        &mut self,
+        lock: LockId,
+        core: CoreId,
+        time: Cycle,
+    ) -> Option<(CoreId, Cycle, CoreId)> {
+        let h = self.holder.remove(&lock);
+        assert_eq!(h, Some(core), "release by non-holder");
+        self.last_holder.insert(lock, core);
+        self.free_at.insert(lock, time);
+        let (next, arrived) = self.queue.get_mut(&lock).and_then(|q| q.pop_front())?;
+        self.holder.insert(lock, next);
+        let grant = time.max(arrived) + self.transfer_cost;
+        Some((next, grant, core))
+    }
+
+    /// The previous holder of `lock`, if any.
+    pub fn last_holder(&self, lock: LockId) -> Option<CoreId> {
+        self.last_holder.get(&lock).copied()
+    }
+
+    /// Whether `lock` is currently held.
+    pub fn is_held(&self, lock: LockId) -> bool {
+        self.holder.contains_key(&lock)
+    }
+
+    /// Number of cores waiting on `lock`.
+    pub fn waiters(&self, lock: LockId) -> usize {
+        self.queue.get(&lock).map(|q| q.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn barrier_releases_at_latest_arrival() {
+        let mut b = BarrierState::new(3, 10);
+        assert_eq!(b.arrive(core(0), Cycle::new(5)), None);
+        assert_eq!(b.arrive(core(2), Cycle::new(50)), None);
+        assert_eq!(b.waiting(), 2);
+        let rel = b.arrive(core(1), Cycle::new(20)).unwrap();
+        assert_eq!(rel, Cycle::new(60));
+        assert_eq!(b.waiting(), 0, "barrier resets for the next generation");
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        let mut b = BarrierState::new(2, 0);
+        assert!(b.arrive(core(0), Cycle::new(1)).is_none());
+        assert!(b.arrive(core(1), Cycle::new(2)).is_some());
+        assert!(b.arrive(core(1), Cycle::new(3)).is_none());
+        assert!(b.arrive(core(0), Cycle::new(9)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut b = BarrierState::new(2, 0);
+        b.arrive(core(0), Cycle::new(1));
+        b.arrive(core(0), Cycle::new(2));
+    }
+
+    #[test]
+    fn first_acquire_is_free_and_untransferred() {
+        let mut l = LockRuntime::new(20);
+        let lock = LockId::new(1);
+        match l.acquire(lock, core(0), Cycle::new(100)) {
+            Acquire::Granted { at, prev_holder } => {
+                assert_eq!(at, Cycle::new(100), "no transfer cost on first touch");
+                assert_eq!(prev_holder, None);
+            }
+            Acquire::Queued => panic!("free lock must grant"),
+        }
+        assert!(l.is_held(lock));
+    }
+
+    #[test]
+    fn contended_lock_queues_and_grants_fifo() {
+        let mut l = LockRuntime::new(20);
+        let lock = LockId::new(1);
+        l.acquire(lock, core(0), Cycle::new(0));
+        assert_eq!(l.acquire(lock, core(1), Cycle::new(5)), Acquire::Queued);
+        assert_eq!(l.acquire(lock, core(2), Cycle::new(6)), Acquire::Queued);
+        assert_eq!(l.waiters(lock), 2);
+        let (next, grant, prev) = l.release(lock, core(0), Cycle::new(50)).unwrap();
+        assert_eq!(next, core(1));
+        assert_eq!(grant, Cycle::new(70)); // release + transfer
+        assert_eq!(prev, core(0));
+        assert_eq!(l.waiters(lock), 1);
+        let (next, _, prev) = l.release(lock, core(1), Cycle::new(90)).unwrap();
+        assert_eq!(next, core(2));
+        assert_eq!(prev, core(1));
+    }
+
+    #[test]
+    fn reacquire_after_release_pays_transfer() {
+        let mut l = LockRuntime::new(20);
+        let lock = LockId::new(2);
+        l.acquire(lock, core(0), Cycle::new(0));
+        assert!(l.release(lock, core(0), Cycle::new(30)).is_none());
+        assert_eq!(l.last_holder(lock), Some(core(0)));
+        match l.acquire(lock, core(1), Cycle::new(40)) {
+            Acquire::Granted { at, prev_holder } => {
+                assert_eq!(at, Cycle::new(60));
+                assert_eq!(prev_holder, Some(core(0)));
+            }
+            Acquire::Queued => panic!("released lock must grant"),
+        }
+    }
+
+    #[test]
+    fn grant_waits_for_release_time() {
+        let mut l = LockRuntime::new(10);
+        let lock = LockId::new(3);
+        l.acquire(lock, core(0), Cycle::new(0));
+        l.release(lock, core(0), Cycle::new(100));
+        // Acquirer shows up "earlier" than the release became visible.
+        match l.acquire(lock, core(1), Cycle::new(50)) {
+            Acquire::Granted { at, .. } => assert_eq!(at, Cycle::new(110)),
+            Acquire::Queued => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut l = LockRuntime::new(0);
+        l.acquire(LockId::new(1), core(0), Cycle::ZERO);
+        l.release(LockId::new(1), core(1), Cycle::new(5));
+    }
+}

@@ -1,0 +1,8 @@
+#[test]
+fn coherence_invariants_hold() {
+    use spcp_system::*;
+    let w = spcp_workloads::suite::x264().generate(16, 7);
+    for proto in [ProtocolKind::Directory, ProtocolKind::Broadcast, ProtocolKind::Predicted(PredictorKind::sp_default())] {
+        CmpSystem::run_workload_validated(&w, &RunConfig::new(MachineConfig::paper_16core(), proto));
+    }
+}

@@ -1,0 +1,201 @@
+//! Analytic protocol-timing tests on hand-crafted micro-workloads with
+//! contention disabled: every latency is checked against the Table-4
+//! pipeline arithmetic.
+
+use spcp_mem::Addr;
+use spcp_noc::NocConfig;
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig, RunStats};
+use spcp_sync::{LockId, StaticSyncId, SyncPoint};
+use spcp_workloads::{Op, Workload};
+
+fn ideal_machine() -> MachineConfig {
+    let mut m = MachineConfig::paper_16core();
+    m.noc = NocConfig {
+        model_contention: false,
+        ..NocConfig::default()
+    };
+    m
+}
+
+fn ld(addr: u64) -> Op {
+    Op::Load {
+        addr: Addr::new(addr),
+        pc: 0x10,
+    }
+}
+
+fn st(addr: u64) -> Op {
+    Op::Store {
+        addr: Addr::new(addr),
+        pc: 0x20,
+    }
+}
+
+fn barrier(id: u32) -> Op {
+    Op::Sync(SyncPoint::barrier(StaticSyncId::new(id)))
+}
+
+/// 16 threads; only cores 0 and 1 touch the target block.
+fn two_party(ops0: Vec<Op>, ops1: Vec<Op>) -> Workload {
+    let mut threads = vec![Vec::new(); 16];
+    // Everybody participates in the delimiting barriers.
+    for (c, t) in threads.iter_mut().enumerate() {
+        t.push(barrier(1));
+        if c == 0 {
+            t.extend(ops0.clone());
+        }
+        t.push(barrier(2));
+        if c == 1 {
+            t.extend(ops1.clone());
+        }
+        t.push(barrier(3));
+    }
+    Workload::from_threads("two-party", threads)
+}
+
+fn run(w: &Workload, proto: ProtocolKind) -> RunStats {
+    CmpSystem::run_workload_validated(w, &RunConfig::new(ideal_machine(), proto))
+}
+
+// Addresses: block 0x40000/64 = 0x1000 -> home = 0x1000 % 16 = core 0.
+const BLOCK_HOME0: u64 = 0x40000;
+
+#[test]
+fn cold_read_miss_goes_to_memory() {
+    // Core 1 reads a block nobody cached: home indirection + memory.
+    let w = two_party(vec![], vec![ld(BLOCK_HOME0)]);
+    let s = run(&w, ProtocolKind::Directory);
+    assert_eq!(s.comm_misses, 0);
+    assert_eq!(s.noncomm_misses, 1);
+    // Latency: req 1 hop (core1->core0: 3 cyc) + dir 6 + mem 150 + data
+    // back 1 hop (3 cyc) = 162.
+    assert_eq!(s.miss_latency.min(), Some(162));
+    assert_eq!(s.miss_latency.max(), Some(162));
+}
+
+#[test]
+fn cache_to_cache_read_is_a_communicating_miss() {
+    // Core 0 writes the block (miss to memory), then core 1 reads it:
+    // directory 3-hop c2c transfer.
+    let w = two_party(vec![st(BLOCK_HOME0)], vec![ld(BLOCK_HOME0)]);
+    let s = run(&w, ProtocolKind::Directory);
+    assert_eq!(s.comm_misses, 1);
+    assert_eq!(s.noncomm_misses, 1);
+    // Read latency: req core1->home(core0) 3 + dir 6 + fwd home->owner
+    // (core0, same tile: 0) + L2 probe 8 + data core0->core1 3 = 20.
+    assert_eq!(s.comm_miss_latency.min(), Some(20));
+}
+
+#[test]
+fn upgrade_invalidates_the_reader() {
+    // Core 0 produces; core 1 reads (S); core 0 writes again -> upgrade
+    // must invalidate core 1.
+    let mut threads = vec![Vec::new(); 16];
+    for (c, t) in threads.iter_mut().enumerate() {
+        t.push(barrier(1));
+        if c == 0 {
+            t.push(st(BLOCK_HOME0));
+        }
+        t.push(barrier(2));
+        if c == 1 {
+            t.push(ld(BLOCK_HOME0));
+        }
+        t.push(barrier(3));
+        if c == 0 {
+            t.push(st(BLOCK_HOME0));
+        }
+        t.push(barrier(4));
+        if c == 1 {
+            t.push(ld(BLOCK_HOME0));
+        }
+        t.push(barrier(5));
+    }
+    let w = Workload::from_threads("upgrade", threads);
+    let s = run(&w, ProtocolKind::Directory);
+    // Miss 1: core0 write (cold). Miss 2: core1 read (c2c). Miss 3: core0
+    // upgrade (invalidate core1). Miss 4: core1 re-read (c2c again).
+    assert_eq!(s.l2_misses, 4);
+    assert_eq!(s.upgrades, 1);
+    assert_eq!(s.comm_misses, 3);
+}
+
+#[test]
+fn broadcast_read_skips_indirection() {
+    let w = two_party(vec![st(BLOCK_HOME0)], vec![ld(BLOCK_HOME0)]);
+    let s = run(&w, ProtocolKind::Broadcast);
+    assert_eq!(s.comm_misses, 1);
+    // Probe core1->core0 3 + L2 probe 8 + data 3 = 14 (2-hop transfer).
+    assert_eq!(s.comm_miss_latency.min(), Some(14));
+    // 15 probes were sent.
+    assert!(s.snoop_probes >= 15);
+}
+
+#[test]
+fn correct_prediction_matches_broadcast_latency() {
+    // Prime SP's history: two instances of the same epoch where core 1
+    // fetches from core 0, so instance 3 is predicted.
+    let mut threads = vec![Vec::new(); 16];
+    for (c, t) in threads.iter_mut().enumerate() {
+        for _round in 0u32..3 {
+            t.push(barrier(10));
+            if c == 0 {
+                for b in 0..16 {
+                    t.push(st(BLOCK_HOME0 + b * 64));
+                }
+            }
+            t.push(barrier(20));
+            if c == 1 {
+                for b in 0..16 {
+                    t.push(ld(BLOCK_HOME0 + b * 64));
+                }
+            }
+        }
+        t.push(barrier(99));
+    }
+    let w = Workload::from_threads("primed", threads);
+    let s = run(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+    // The two epochs repeat 3 times; instances 2 and 3 of the read epoch
+    // predict {core0} from history.
+    assert!(s.pred_sufficient_comm >= 16, "predicted = {}", s.pred_sufficient_comm);
+    // Predicted reads complete in 14 cycles (like broadcast's 2-hop).
+    assert_eq!(s.comm_miss_latency.min(), Some(14));
+}
+
+#[test]
+fn lock_protected_data_migrates_between_holders() {
+    // Cores 0 and 1 take turns in a critical section writing the same
+    // block; each handover is a cache-to-cache transfer.
+    let lock = LockId::new(5);
+    let mut threads = vec![Vec::new(); 16];
+    for (c, t) in threads.iter_mut().enumerate() {
+        t.push(barrier(1));
+        if c < 2 {
+            for _ in 0..4 {
+                t.push(Op::Sync(SyncPoint::lock(lock)));
+                t.push(ld(BLOCK_HOME0));
+                t.push(st(BLOCK_HOME0));
+                t.push(Op::Sync(SyncPoint::unlock(lock)));
+            }
+        }
+        t.push(barrier(2));
+    }
+    let w = Workload::from_threads("migratory", threads);
+    let s = run(&w, ProtocolKind::Directory);
+    // After the first holder, every handover misses cache-to-cache.
+    assert!(s.comm_misses >= 6, "comm = {}", s.comm_misses);
+    let sp = run(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+    // SP's lock-holder union predicts the previous holder.
+    assert!(
+        sp.sp.expect("sp stats").correct_lock > 0,
+        "lock-based predictions must fire"
+    );
+}
+
+#[test]
+fn exec_time_covers_the_longest_core() {
+    let w = two_party(vec![st(BLOCK_HOME0)], vec![ld(BLOCK_HOME0)]);
+    let s = run(&w, ProtocolKind::Directory);
+    // Three barriers at ~30 cycles release cost plus the misses.
+    assert!(s.exec_cycles > 3 * 30);
+    assert_eq!(s.total_ops as usize, 16 * 3 + 2);
+}

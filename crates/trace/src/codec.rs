@@ -1,0 +1,270 @@
+//! The line-oriented trace codec.
+//!
+//! One event per line:
+//!
+//! ```text
+//! M <core> <block-hex> <pc-hex> <R|W|U> <targets-hex>
+//! S <core> <barrier|join|wakeup|broadcast|lock|unlock> <static-id> <instance>
+//! ```
+
+use crate::event::TraceEvent;
+use spcp_core::AccessKind;
+use spcp_mem::BlockAddr;
+use spcp_sim::{CoreId, CoreSet};
+use spcp_sync::SyncKind;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl From<ParseTraceError> for io::Error {
+    fn from(e: ParseTraceError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn kind_code(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "R",
+        AccessKind::Write => "W",
+        AccessKind::Upgrade => "U",
+    }
+}
+
+fn sync_code(kind: SyncKind) -> &'static str {
+    match kind {
+        SyncKind::Barrier => "barrier",
+        SyncKind::Join => "join",
+        SyncKind::Wakeup => "wakeup",
+        SyncKind::Broadcast => "broadcast",
+        SyncKind::Lock => "lock",
+        SyncKind::Unlock => "unlock",
+    }
+}
+
+/// Encodes one event as its trace line (without the newline).
+pub fn encode_line(event: &TraceEvent) -> String {
+    match *event {
+        TraceEvent::Miss {
+            core,
+            block,
+            pc,
+            kind,
+            targets,
+        } => format!(
+            "M {} {:x} {:x} {} {:x}",
+            core.index(),
+            block.index(),
+            pc,
+            kind_code(kind),
+            targets.bits()
+        ),
+        TraceEvent::Sync {
+            core,
+            kind,
+            static_id,
+            instance,
+        } => format!(
+            "S {} {} {} {}",
+            core.index(),
+            sync_code(kind),
+            static_id,
+            instance
+        ),
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<TraceEvent, ParseTraceError> {
+    let err = |message: String| ParseTraceError {
+        line: lineno,
+        message,
+    };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.as_slice() {
+        ["M", core, block, pc, kind, targets] => {
+            let core = core
+                .parse::<usize>()
+                .map_err(|_| err(format!("bad core '{core}'")))?;
+            let block = u64::from_str_radix(block, 16)
+                .map_err(|_| err(format!("bad block '{block}'")))?;
+            let pc =
+                u32::from_str_radix(pc, 16).map_err(|_| err(format!("bad pc '{pc}'")))?;
+            let kind = match *kind {
+                "R" => AccessKind::Read,
+                "W" => AccessKind::Write,
+                "U" => AccessKind::Upgrade,
+                other => return Err(err(format!("bad access kind '{other}'"))),
+            };
+            let targets = u64::from_str_radix(targets, 16)
+                .map_err(|_| err(format!("bad target set '{targets}'")))?;
+            Ok(TraceEvent::Miss {
+                core: CoreId::new(core),
+                block: BlockAddr::from_index(block),
+                pc,
+                kind,
+                targets: CoreSet::from_bits(targets),
+            })
+        }
+        ["S", core, kind, static_id, instance] => {
+            let core = core
+                .parse::<usize>()
+                .map_err(|_| err(format!("bad core '{core}'")))?;
+            let kind = match *kind {
+                "barrier" => SyncKind::Barrier,
+                "join" => SyncKind::Join,
+                "wakeup" => SyncKind::Wakeup,
+                "broadcast" => SyncKind::Broadcast,
+                "lock" => SyncKind::Lock,
+                "unlock" => SyncKind::Unlock,
+                other => return Err(err(format!("bad sync kind '{other}'"))),
+            };
+            let static_id = static_id
+                .parse::<u32>()
+                .map_err(|_| err(format!("bad static id '{static_id}'")))?;
+            let instance = instance
+                .parse::<u64>()
+                .map_err(|_| err(format!("bad instance '{instance}'")))?;
+            Ok(TraceEvent::Sync {
+                core: CoreId::new(core),
+                kind,
+                static_id,
+                instance,
+            })
+        }
+        [] => Err(err("empty line".into())),
+        _ => Err(err(format!("unrecognized record '{line}'"))),
+    }
+}
+
+/// Writes `events` to `w`, one line each.
+///
+/// A `&mut` reference works wherever a writer is needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_trace<W: Write>(mut w: W, events: &[TraceEvent]) -> io::Result<()> {
+    for e in events {
+        writeln!(w, "{}", encode_line(e))?;
+    }
+    Ok(())
+}
+
+/// Reads a whole trace from `r`.
+///
+/// A `&mut` reference works wherever a reader is needed. Blank lines and
+/// `#` comment lines are skipped.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error wrapping [`ParseTraceError`] for
+/// malformed lines, or propagates I/O errors.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Vec<TraceEvent>> {
+    let mut events = Vec::new();
+    for (i, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(parse_line(trimmed, i + 1)?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miss(core: usize, block: u64, targets: u64, kind: AccessKind) -> TraceEvent {
+        TraceEvent::Miss {
+            core: CoreId::new(core),
+            block: BlockAddr::from_index(block),
+            pc: 0x4a0,
+            kind,
+            targets: CoreSet::from_bits(targets),
+        }
+    }
+
+    fn sync(core: usize, kind: SyncKind, id: u32, inst: u64) -> TraceEvent {
+        TraceEvent::Sync {
+            core: CoreId::new(core),
+            kind,
+            static_id: id,
+            instance: inst,
+        }
+    }
+
+    #[test]
+    fn encode_forms() {
+        assert_eq!(
+            encode_line(&miss(3, 0x1000, 0b101, AccessKind::Write)),
+            "M 3 1000 4a0 W 5"
+        );
+        assert_eq!(
+            encode_line(&sync(7, SyncKind::Lock, 9, 2)),
+            "S 7 lock 9 2"
+        );
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        let events = vec![
+            miss(0, 1, 0, AccessKind::Read),
+            miss(15, 0xdead, 0xffff, AccessKind::Upgrade),
+            sync(1, SyncKind::Barrier, 1, 0),
+            sync(2, SyncKind::Unlock, 4, 99),
+            sync(3, SyncKind::Join, 5, 1),
+            sync(4, SyncKind::Wakeup, 6, 2),
+            sync(5, SyncKind::Broadcast, 7, 3),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\nM 0 1 0 R 0\n   \n# trailer\n";
+        let events = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "M 0 1 0 R 0\nM 0 zz 0 R 0\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("bad block"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_record_rejected() {
+        assert!(read_trace("X what is this".as_bytes()).is_err());
+        assert!(read_trace("M 0 1 0 Q 0".as_bytes()).is_err());
+        assert!(read_trace("S 0 fence 1 0".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn display_matches_codec() {
+        let e = miss(1, 2, 3, AccessKind::Read);
+        assert_eq!(e.to_string(), encode_line(&e));
+    }
+}

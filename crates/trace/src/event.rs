@@ -1,0 +1,98 @@
+//! Trace record types.
+
+use spcp_core::AccessKind;
+use spcp_mem::BlockAddr;
+use spcp_sim::{CoreId, CoreSet};
+use spcp_sync::SyncKind;
+use std::fmt;
+
+/// One trace record: an L2 miss with its communication targets, or a
+/// sync-point with its static/dynamic identity — exactly the fields the
+/// paper's §3.2 traces carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An L2 miss (including upgrades).
+    Miss {
+        /// Issuing core.
+        core: CoreId,
+        /// Missing block.
+        block: BlockAddr,
+        /// Program counter of the access.
+        pc: u32,
+        /// Access type.
+        kind: AccessKind,
+        /// The minimal sufficient target set (empty = memory-serviced).
+        targets: CoreSet,
+    },
+    /// A synchronization point.
+    Sync {
+        /// Executing core.
+        core: CoreId,
+        /// Routine kind.
+        kind: SyncKind,
+        /// Static sync-point ID.
+        static_id: u32,
+        /// Dynamic occurrence number on this core.
+        instance: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The core that produced the event.
+    pub fn core(&self) -> CoreId {
+        match self {
+            TraceEvent::Miss { core, .. } | TraceEvent::Sync { core, .. } => *core,
+        }
+    }
+
+    /// Whether this is a communicating miss.
+    pub fn is_communicating_miss(&self) -> bool {
+        matches!(self, TraceEvent::Miss { targets, .. } if !targets.is_empty())
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Writes the on-disk line format (shared with the codec, so the two
+    /// cannot drift apart).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::codec::encode_line(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_extraction() {
+        let m = TraceEvent::Miss {
+            core: CoreId::new(3),
+            block: BlockAddr::from_index(1),
+            pc: 0,
+            kind: AccessKind::Read,
+            targets: CoreSet::empty(),
+        };
+        assert_eq!(m.core(), CoreId::new(3));
+        assert!(!m.is_communicating_miss());
+        let s = TraceEvent::Sync {
+            core: CoreId::new(5),
+            kind: SyncKind::Barrier,
+            static_id: 1,
+            instance: 0,
+        };
+        assert_eq!(s.core(), CoreId::new(5));
+        assert!(!s.is_communicating_miss());
+    }
+
+    #[test]
+    fn communicating_flag() {
+        let m = TraceEvent::Miss {
+            core: CoreId::new(0),
+            block: BlockAddr::from_index(1),
+            pc: 0,
+            kind: AccessKind::Write,
+            targets: CoreSet::from_bits(0b10),
+        };
+        assert!(m.is_communicating_miss());
+    }
+}

@@ -1,0 +1,371 @@
+//! Turning a [`BenchmarkSpec`] into concrete per-core op streams.
+
+use crate::layout::{lock_block, private_block, shared_block, LOCK_BLOCKS, SHARED_BLOCKS_PER_CORE};
+use crate::op::Op;
+use crate::spec::BenchmarkSpec;
+use spcp_sim::{CoreId, DetRng};
+use spcp_sync::{LockId, StaticSyncId, SyncPoint};
+use std::collections::HashMap;
+
+/// A fully generated workload: one op stream per core.
+///
+/// Generation is deterministic in `(spec, num_cores, seed)`; the simulator
+/// replays the streams against the coherence protocol, so all communication
+/// emerges from genuine reads-after-remote-writes.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: &'static str,
+    threads: Vec<Vec<Op>>,
+    paper_comm_ratio: f64,
+}
+
+impl Workload {
+    /// Builds a workload directly from hand-written per-core op streams.
+    ///
+    /// Useful for protocol unit tests and custom microbenchmarks that need
+    /// precise control over individual accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty.
+    pub fn from_threads(name: &'static str, threads: Vec<Vec<Op>>) -> Self {
+        assert!(!threads.is_empty(), "a workload needs at least one thread");
+        Workload {
+            name,
+            threads,
+            paper_comm_ratio: 0.0,
+        }
+    }
+
+    /// Benchmark name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Per-core op streams.
+    pub fn threads(&self) -> &[Vec<Op>] {
+        &self.threads
+    }
+
+    /// Number of cores (threads).
+    pub fn num_cores(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total operations across all cores.
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.len()).sum()
+    }
+
+    /// The paper's Figure 1 reference communicating-miss ratio.
+    pub fn paper_comm_ratio(&self) -> f64 {
+        self.paper_comm_ratio
+    }
+}
+
+impl BenchmarkSpec {
+    /// Generates the op streams for a `num_cores` machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or an epoch requests more shared
+    /// blocks than a stripe holds.
+    pub fn generate(&self, num_cores: usize, seed: u64) -> Workload {
+        assert!(num_cores > 0);
+        let mut master = DetRng::seeded(seed ^ self.seed_salt.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let mut threads: Vec<Vec<Op>> = (0..num_cores)
+            .map(|_| Vec::with_capacity(self.ops_per_core() as usize + 16))
+            .collect();
+        let mut rngs: Vec<DetRng> = (0..num_cores).map(|c| master.fork(c as u64)).collect();
+
+        // Per-(core, epoch) dynamic instance counters and private-stream
+        // cursors.
+        let mut instances: Vec<HashMap<u32, u64>> = vec![HashMap::new(); num_cores];
+        let mut private_seq: Vec<u64> = vec![0; num_cores];
+
+        for phase in &self.phases {
+            for _iter in 0..phase.iterations {
+                for epoch in &phase.epochs {
+                    for core_idx in 0..num_cores {
+                        let core = CoreId::new(core_idx);
+                        let rng = &mut rngs[core_idx];
+                        let ops = &mut threads[core_idx];
+
+                        // Epoch-begin barrier (also the previous epoch's
+                        // end).
+                        ops.push(Op::Sync(SyncPoint::barrier(StaticSyncId::new(
+                            epoch.static_id,
+                        ))));
+
+                        let instance = {
+                            let e = instances[core_idx].entry(epoch.static_id).or_insert(0);
+                            let v = *e;
+                            *e += 1;
+                            v
+                        };
+
+                        let noisy = rng.chance(epoch.noise_prob);
+                        if noisy {
+                            // A couple of private touches only (§3.4).
+                            for _ in 0..2 {
+                                let seq = private_seq[core_idx];
+                                private_seq[core_idx] += 1;
+                                ops.push(Op::Load {
+                                    addr: private_block(core, seq),
+                                    pc: epoch.pc_base + 0x200,
+                                });
+                            }
+                            continue;
+                        }
+
+                        // Consumer side: read the producers' stripes;
+                        // producer side: write this core's own stripe;
+                        // private work: stream cold blocks. Real code
+                        // interleaves all three, so shuffle them together
+                        // (block sets are disjoint, so order is free).
+                        let producers =
+                            epoch
+                                .pattern
+                                .producers(core, instance, num_cores, rng);
+                        assert!(
+                            epoch.shared_reads as u64 <= SHARED_BLOCKS_PER_CORE,
+                            "epoch reads more blocks than a stripe holds"
+                        );
+                        assert!(
+                            epoch.shared_writes as u64 <= SHARED_BLOCKS_PER_CORE,
+                            "epoch writes more blocks than a stripe holds"
+                        );
+                        let mut body = Vec::with_capacity(
+                            (epoch.shared_reads + epoch.shared_writes + epoch.private_accesses)
+                                as usize,
+                        );
+                        if !producers.is_empty() {
+                            for i in 0..epoch.shared_reads {
+                                let producer = producers[i as usize % producers.len()];
+                                body.push(Op::Load {
+                                    addr: shared_block(producer, i as u64),
+                                    pc: epoch.pc_base + 4 * (i % epoch.shared_pcs),
+                                });
+                            }
+                        }
+                        for i in 0..epoch.shared_writes {
+                            body.push(Op::Store {
+                                addr: shared_block(core, i as u64),
+                                pc: epoch.pc_base + 0x100 + 4 * (i % epoch.shared_pcs),
+                            });
+                        }
+                        // Shared accesses stay bursty (a consume phase then
+                        // a produce phase, as in real data-parallel loops);
+                        // private work is sprinkled throughout the epoch.
+                        for _ in 0..epoch.private_accesses {
+                            let seq = private_seq[core_idx];
+                            private_seq[core_idx] += 1;
+                            let at = rng.index(body.len() + 1);
+                            body.insert(
+                                at,
+                                Op::Load {
+                                    addr: private_block(core, seq),
+                                    pc: epoch.pc_base + 0x200,
+                                },
+                            );
+                        }
+                        if epoch.work_per_access > 0 {
+                            for op in body {
+                                ops.push(Op::Compute(epoch.work_per_access));
+                                ops.push(op);
+                            }
+                        } else {
+                            ops.extend(body);
+                        }
+
+                        // Critical sections on migratory lock data.
+                        if let Some(cs) = epoch.cs {
+                            for _ in 0..cs.sections {
+                                let lock_id = cs.lock_base + rng.index(cs.num_locks as usize) as u32;
+                                let lock = LockId::new(lock_id);
+                                // Threads reach the lock after varying
+                                // amounts of local work, so acquisition
+                                // order is a timing race (the paper's
+                                // "random" critical-section pattern).
+                                ops.push(Op::Compute(rng.range(0, 120) as u32));
+                                ops.push(Op::Sync(SyncPoint::lock(lock)));
+                                for a in 0..cs.accesses {
+                                    let addr = lock_block(lock_id, (a as u64) % LOCK_BLOCKS);
+                                    let pc = epoch.pc_base + 0x300 + 4 * (a % 2);
+                                    // Read-modify-write the protected data so
+                                    // each holder both consumes the previous
+                                    // holder's writes and produces for the
+                                    // next.
+                                    if a % 2 == 0 {
+                                        ops.push(Op::Load { addr, pc });
+                                    } else {
+                                        ops.push(Op::Store { addr, pc });
+                                    }
+                                }
+                                ops.push(Op::Sync(SyncPoint::unlock(lock)));
+                            }
+                        }
+
+                    }
+                }
+            }
+        }
+
+        Workload {
+            name: self.name,
+            threads,
+            paper_comm_ratio: self.paper_comm_ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::SharingPattern;
+    use crate::spec::{CsSpec, EpochSpec, Phase};
+    use spcp_sync::SyncKind;
+
+    fn toy_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "toy",
+            phases: vec![Phase::new(
+                vec![
+                    EpochSpec::new(1, SharingPattern::Stable { offset: 1 }).traffic(8, 8),
+                    EpochSpec::new(2, SharingPattern::Random)
+                        .traffic(4, 4)
+                        .critical_sections(CsSpec {
+                            lock_base: 0,
+                            num_locks: 2,
+                            sections: 1,
+                            accesses: 4,
+                        }),
+                ],
+                5,
+            )],
+            seed_salt: 3,
+            paper_comm_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = toy_spec();
+        let a = spec.generate(16, 42);
+        let b = spec.generate(16, 42);
+        assert_eq!(a.threads(), b.threads());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = toy_spec();
+        let a = spec.generate(16, 1);
+        let b = spec.generate(16, 2);
+        assert_ne!(a.threads(), b.threads());
+    }
+
+    #[test]
+    fn every_core_gets_a_stream_with_barriers() {
+        let w = toy_spec().generate(16, 0);
+        assert_eq!(w.num_cores(), 16);
+        for t in w.threads() {
+            let barriers = t
+                .iter()
+                .filter(|o| matches!(o, Op::Sync(p) if p.kind == SyncKind::Barrier))
+                .count();
+            // 2 epochs * 5 iterations
+            assert_eq!(barriers, 10);
+        }
+    }
+
+    #[test]
+    fn barrier_sequences_are_identical_across_cores() {
+        let w = toy_spec().generate(8, 0);
+        let seq = |t: &[Op]| -> Vec<u32> {
+            t.iter()
+                .filter_map(|o| match o {
+                    Op::Sync(p) if p.kind == SyncKind::Barrier => Some(p.static_id.raw()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let first = seq(&w.threads()[0]);
+        for t in w.threads() {
+            assert_eq!(seq(t), first);
+        }
+    }
+
+    #[test]
+    fn locks_are_balanced_pairs() {
+        let w = toy_spec().generate(16, 0);
+        for t in w.threads() {
+            let locks = t
+                .iter()
+                .filter(|o| matches!(o, Op::Sync(p) if p.kind == SyncKind::Lock))
+                .count();
+            let unlocks = t
+                .iter()
+                .filter(|o| matches!(o, Op::Sync(p) if p.kind == SyncKind::Unlock))
+                .count();
+            assert_eq!(locks, unlocks);
+            assert_eq!(locks, 5); // 1 section * 5 iterations
+        }
+    }
+
+    #[test]
+    fn consumers_read_producer_stripe() {
+        // Stable offset 1: core 0 reads core 1's stripe.
+        let spec = BenchmarkSpec {
+            name: "stable",
+            phases: vec![Phase::new(
+                vec![EpochSpec::new(1, SharingPattern::Stable { offset: 1 }).traffic(4, 4)],
+                1,
+            )],
+            seed_salt: 0,
+            paper_comm_ratio: 0.5,
+        };
+        let w = spec.generate(4, 0);
+        let reads: Vec<_> = w.threads()[0]
+            .iter()
+            .filter_map(|o| match o {
+                Op::Load { addr, .. } => crate::layout::owner_of_shared(*addr),
+                _ => None,
+            })
+            .collect();
+        assert!(!reads.is_empty());
+        assert!(reads.iter().all(|&p| p == CoreId::new(1)));
+    }
+
+    #[test]
+    fn writes_stay_in_own_stripe() {
+        let w = toy_spec().generate(8, 0);
+        for (c, t) in w.threads().iter().enumerate() {
+            for o in t {
+                if let Op::Store { addr, .. } = o {
+                    if let Some(owner) = crate::layout::owner_of_shared(*addr) {
+                        assert_eq!(owner, CoreId::new(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_epochs_shrink_streams() {
+        let mut spec = toy_spec();
+        spec.phases[0].epochs[0] = spec.phases[0].epochs[0].clone().noise(1.0);
+        let noisy = spec.generate(16, 0);
+        let normal = toy_spec().generate(16, 0);
+        assert!(noisy.total_ops() < normal.total_ops());
+    }
+
+    #[test]
+    fn total_ops_matches_estimate_roughly() {
+        let spec = toy_spec();
+        let w = spec.generate(16, 0);
+        let est = spec.ops_per_core() * 16;
+        let actual = w.total_ops() as u64;
+        // The estimate ignores noise; toy spec has none, so it is exact.
+        assert_eq!(actual, est);
+    }
+}

@@ -1,0 +1,126 @@
+//! The synthetic address-space layout.
+//!
+//! All benchmark models share one simple layout so that region arithmetic is
+//! auditable:
+//!
+//! ```text
+//! [0x0000_0000 ..)            shared data, striped per owner core
+//! [0x4000_0000 ..)            lock-protected (migratory) data, per lock
+//! [0x8000_0000 ..)            private streaming data, per core
+//! ```
+//!
+//! Shared region: each core *owns* `SHARED_BLOCKS_PER_CORE` consecutive
+//! blocks it produces into; consumers read a producer's stripe. Lock
+//! regions hold the data a critical section touches (whoever held the lock
+//! last wrote them — migratory sharing). Private regions are streamed
+//! cold, so every access misses to memory: these are the
+//! *non-communicating* misses of Figure 1.
+
+use spcp_mem::{Addr, BLOCK_BYTES};
+use spcp_sim::CoreId;
+
+/// Blocks in each core's shared stripe.
+pub const SHARED_BLOCKS_PER_CORE: u64 = 256;
+/// Blocks in each lock's protected region.
+pub const LOCK_BLOCKS: u64 = 16;
+/// Base of the shared segment.
+pub const SHARED_BASE: u64 = 0;
+/// Base of the lock-data segment.
+pub const LOCK_BASE: u64 = 0x4000_0000;
+/// Base of the private streaming segment.
+pub const PRIVATE_BASE: u64 = 0x8000_0000;
+/// Bytes reserved per core in the private segment (large enough that a
+/// stream never wraps in any generated run).
+pub const PRIVATE_STRIDE: u64 = 0x0100_0000;
+
+/// Address of block `idx` in `owner`'s shared stripe.
+///
+/// # Panics
+///
+/// Panics if `idx` is outside the stripe.
+pub fn shared_block(owner: CoreId, idx: u64) -> Addr {
+    assert!(idx < SHARED_BLOCKS_PER_CORE, "shared stripe index out of range");
+    Addr::new(SHARED_BASE + (owner.index() as u64 * SHARED_BLOCKS_PER_CORE + idx) * BLOCK_BYTES)
+}
+
+/// Address of block `idx` in lock `lock_id`'s protected region.
+///
+/// # Panics
+///
+/// Panics if `idx` is outside the region.
+pub fn lock_block(lock_id: u32, idx: u64) -> Addr {
+    assert!(idx < LOCK_BLOCKS, "lock region index out of range");
+    Addr::new(LOCK_BASE + (lock_id as u64 * LOCK_BLOCKS + idx) * BLOCK_BYTES)
+}
+
+/// Address of the `seq`-th block of `core`'s private stream.
+pub fn private_block(core: CoreId, seq: u64) -> Addr {
+    let base = PRIVATE_BASE + core.index() as u64 * PRIVATE_STRIDE;
+    Addr::new(base + (seq % (PRIVATE_STRIDE / BLOCK_BYTES)) * BLOCK_BYTES)
+}
+
+/// The core owning a shared-segment address, if it is in the shared
+/// segment.
+pub fn owner_of_shared(addr: Addr) -> Option<CoreId> {
+    let raw = addr.raw();
+    if raw >= LOCK_BASE {
+        return None;
+    }
+    let stripe = raw / (SHARED_BLOCKS_PER_CORE * BLOCK_BYTES);
+    Some(CoreId::new(stripe as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_are_disjoint() {
+        let a = shared_block(CoreId::new(0), SHARED_BLOCKS_PER_CORE - 1);
+        let b = shared_block(CoreId::new(1), 0);
+        assert!(a.raw() < b.raw());
+        assert_eq!(b.raw() - a.raw(), BLOCK_BYTES);
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let last_shared = shared_block(CoreId::new(63), SHARED_BLOCKS_PER_CORE - 1);
+        assert!(last_shared.raw() < LOCK_BASE);
+        let last_lock = lock_block(1000, LOCK_BLOCKS - 1);
+        assert!(last_lock.raw() < PRIVATE_BASE);
+    }
+
+    #[test]
+    fn owner_round_trips() {
+        for c in 0..16 {
+            let core = CoreId::new(c);
+            for idx in [0, 100, SHARED_BLOCKS_PER_CORE - 1] {
+                assert_eq!(owner_of_shared(shared_block(core, idx)), Some(core));
+            }
+        }
+        assert_eq!(owner_of_shared(lock_block(0, 0)), None);
+        assert_eq!(owner_of_shared(private_block(CoreId::new(0), 0)), None);
+    }
+
+    #[test]
+    fn private_streams_never_collide_across_cores() {
+        let a = private_block(CoreId::new(0), 1_000_000);
+        let b = private_block(CoreId::new(1), 0);
+        assert!(a.raw() < b.raw());
+    }
+
+    #[test]
+    fn private_stream_addresses_are_block_aligned_and_fresh() {
+        let c = CoreId::new(3);
+        let a0 = private_block(c, 0);
+        let a1 = private_block(c, 1);
+        assert_eq!(a1.raw() - a0.raw(), BLOCK_BYTES);
+        assert_ne!(a0.block(), a1.block());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shared_index_bounds_checked() {
+        shared_block(CoreId::new(0), SHARED_BLOCKS_PER_CORE);
+    }
+}

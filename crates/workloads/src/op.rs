@@ -1,0 +1,84 @@
+//! The operations a synthetic thread presents to the memory system.
+
+use spcp_mem::Addr;
+use spcp_sync::SyncPoint;
+use std::fmt;
+
+/// One operation in a thread's instruction stream, as seen by the memory
+/// system and the synchronization runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A load from `addr` issued by the static instruction at `pc`.
+    Load {
+        /// Referenced address.
+        addr: Addr,
+        /// Program counter of the load.
+        pc: u32,
+    },
+    /// A store to `addr` issued by the static instruction at `pc`.
+    Store {
+        /// Referenced address.
+        addr: Addr,
+        /// Program counter of the store.
+        pc: u32,
+    },
+    /// A synchronization routine invocation.
+    Sync(SyncPoint),
+    /// Non-memory work consuming the given number of cycles.
+    Compute(u32),
+}
+
+impl Op {
+    /// The referenced address, for memory operations.
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Op::Load { addr, .. } | Op::Store { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a load or store.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Load { addr, pc } => write!(f, "LD {addr} @0x{pc:x}"),
+            Op::Store { addr, pc } => write!(f, "ST {addr} @0x{pc:x}"),
+            Op::Sync(p) => write!(f, "SYNC {p}"),
+            Op::Compute(c) => write!(f, "COMPUTE {c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_sync::{StaticSyncId, SyncPoint};
+
+    #[test]
+    fn addr_extraction() {
+        let l = Op::Load {
+            addr: Addr::new(64),
+            pc: 4,
+        };
+        assert_eq!(l.addr(), Some(Addr::new(64)));
+        assert!(l.is_memory());
+        let s = Op::Sync(SyncPoint::barrier(StaticSyncId::new(1)));
+        assert_eq!(s.addr(), None);
+        assert!(!s.is_memory());
+        assert!(!Op::Compute(5).is_memory());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(
+            Op::Store { addr: Addr::new(0), pc: 1 }.to_string(),
+            "ST 0x0 @0x1"
+        );
+        assert_eq!(Op::Compute(3).to_string(), "COMPUTE 3");
+    }
+}

@@ -1,0 +1,264 @@
+//! Benchmark specifications: the parameterization of a synthetic workload.
+
+use crate::pattern::SharingPattern;
+
+/// Critical-section behaviour inside an epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsSpec {
+    /// First lock ID of the pool this epoch contends on.
+    pub lock_base: u32,
+    /// Number of locks in the pool (fine-grain locking uses many).
+    pub num_locks: u32,
+    /// Critical sections each core executes per epoch instance.
+    pub sections: u32,
+    /// Memory accesses inside each critical section (migratory data).
+    pub accesses: u32,
+}
+
+/// One static sync-epoch: the code between two consecutive barriers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSpec {
+    /// Static ID of the barrier *beginning* this epoch (globally unique).
+    pub static_id: u32,
+    /// How consumers pick producers, instance by instance.
+    pub pattern: SharingPattern,
+    /// Distinct producer-stripe blocks each core reads per instance.
+    pub shared_reads: u32,
+    /// Own-stripe blocks each core writes (produces) per instance.
+    pub shared_writes: u32,
+    /// Private-stream accesses per instance (cold misses to memory — the
+    /// non-communicating misses of Figure 1).
+    pub private_accesses: u32,
+    /// Probability an instance is "noisy" (§3.4): almost no activity.
+    pub noise_prob: f64,
+    /// Optional critical-section activity.
+    pub cs: Option<CsSpec>,
+    /// Base PC for this epoch's static instructions.
+    pub pc_base: u32,
+    /// Distinct static load/store PCs used for shared accesses. Small
+    /// values model tight loops; sharing `pc_base` across epochs models
+    /// common library code (it makes INST indexing coarser than epochs).
+    pub shared_pcs: u32,
+    /// Non-memory work (cycles) between consecutive accesses, modelling
+    /// the instruction mix. Zero packs misses back to back (the default,
+    /// stressing the NoC); larger values thin the offered load.
+    pub work_per_access: u32,
+}
+
+impl EpochSpec {
+    /// A baseline epoch: stable pattern, moderate traffic, no noise, no
+    /// critical sections. Builder-style helpers refine it.
+    pub fn new(static_id: u32, pattern: SharingPattern) -> Self {
+        EpochSpec {
+            static_id,
+            pattern,
+            shared_reads: 48,
+            shared_writes: 48,
+            private_accesses: 24,
+            noise_prob: 0.0,
+            cs: None,
+            pc_base: static_id * 0x1000,
+            shared_pcs: 4,
+            work_per_access: 0,
+        }
+    }
+
+    /// Sets the shared read/write counts.
+    pub fn traffic(mut self, reads: u32, writes: u32) -> Self {
+        self.shared_reads = reads;
+        self.shared_writes = writes;
+        self
+    }
+
+    /// Sets the private-stream access count.
+    pub fn private(mut self, accesses: u32) -> Self {
+        self.private_accesses = accesses;
+        self
+    }
+
+    /// Sets the noisy-instance probability.
+    pub fn noise(mut self, prob: f64) -> Self {
+        self.noise_prob = prob;
+        self
+    }
+
+    /// Attaches critical-section activity.
+    pub fn critical_sections(mut self, cs: CsSpec) -> Self {
+        self.cs = Some(cs);
+        self
+    }
+
+    /// Sets the compute work between consecutive accesses.
+    pub fn work(mut self, cycles: u32) -> Self {
+        self.work_per_access = cycles;
+        self
+    }
+
+    /// Overrides the PC assignment (for modelling shared library code).
+    pub fn pcs(mut self, pc_base: u32, shared_pcs: u32) -> Self {
+        self.pc_base = pc_base;
+        self.shared_pcs = shared_pcs;
+        self
+    }
+
+    /// Approximate operations one core emits per (non-noisy) instance.
+    pub fn ops_per_instance(&self) -> u64 {
+        // Per section: jitter compute + lock + accesses + unlock.
+        let cs_ops = self
+            .cs
+            .map(|c| c.sections as u64 * (c.accesses as u64 + 3))
+            .unwrap_or(0);
+        1 + self.shared_reads as u64
+            + self.shared_writes as u64
+            + self.private_accesses as u64
+            + cs_ops
+    }
+}
+
+/// A group of epochs executed together for a number of iterations (one
+/// outer loop of the program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// The epochs executed, in order, each iteration.
+    pub epochs: Vec<EpochSpec>,
+    /// Number of iterations (dynamic instances of each epoch).
+    pub iterations: u32,
+}
+
+impl Phase {
+    /// Creates a phase.
+    pub fn new(epochs: Vec<EpochSpec>, iterations: u32) -> Self {
+        Phase { epochs, iterations }
+    }
+}
+
+/// A complete benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper's Table 1).
+    pub name: &'static str,
+    /// The program: phases executed in order.
+    pub phases: Vec<Phase>,
+    /// Extra seed salt so different benchmarks decorrelate.
+    pub seed_salt: u64,
+    /// The paper's Figure 1 communicating-miss ratio, kept as reference
+    /// metadata for the experiment reports.
+    pub paper_comm_ratio: f64,
+}
+
+impl BenchmarkSpec {
+    /// Total static sync-epochs (distinct barriers) in the program.
+    pub fn static_epochs(&self) -> usize {
+        self.phases.iter().map(|p| p.epochs.len()).sum()
+    }
+
+    /// Total static critical sections (distinct locks contended on).
+    pub fn static_critical_sections(&self) -> usize {
+        let mut locks = std::collections::BTreeSet::new();
+        for e in self.phases.iter().flat_map(|p| &p.epochs) {
+            if let Some(c) = e.cs {
+                if c.sections > 0 {
+                    locks.extend(c.lock_base..c.lock_base + c.num_locks);
+                }
+            }
+        }
+        locks.len()
+    }
+
+    /// Dynamic epoch instances per core.
+    pub fn dynamic_epochs_per_core(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.iterations as u64 * p.epochs.len() as u64)
+            .sum()
+    }
+
+    /// Approximate operations one core emits over the whole run.
+    pub fn ops_per_core(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| {
+                p.iterations as u64
+                    * p.epochs.iter().map(|e| e.ops_per_instance()).sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "toy",
+            phases: vec![
+                Phase::new(
+                    vec![
+                        EpochSpec::new(1, SharingPattern::Stable { offset: 1 }),
+                        EpochSpec::new(2, SharingPattern::Random).critical_sections(CsSpec {
+                            lock_base: 0,
+                            num_locks: 4,
+                            sections: 2,
+                            accesses: 6,
+                        }),
+                    ],
+                    10,
+                ),
+                Phase::new(
+                    vec![EpochSpec::new(3, SharingPattern::Neighbor)],
+                    5,
+                ),
+            ],
+            seed_salt: 7,
+            paper_comm_ratio: 0.6,
+        }
+    }
+
+    #[test]
+    fn static_and_dynamic_counts() {
+        let s = spec();
+        assert_eq!(s.static_epochs(), 3);
+        assert_eq!(s.static_critical_sections(), 4);
+        assert_eq!(s.dynamic_epochs_per_core(), 10 * 2 + 5);
+    }
+
+    #[test]
+    fn ops_accounting_includes_cs() {
+        let e = EpochSpec::new(1, SharingPattern::Random)
+            .traffic(10, 10)
+            .private(5)
+            .critical_sections(CsSpec {
+                lock_base: 0,
+                num_locks: 1,
+                sections: 3,
+                accesses: 4,
+            });
+        // 1 barrier + 10 + 10 + 5 + 3*(4+3)
+        assert_eq!(e.ops_per_instance(), 1 + 25 + 21);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = EpochSpec::new(5, SharingPattern::Stable { offset: 2 })
+            .traffic(1, 2)
+            .private(3)
+            .noise(0.5)
+            .pcs(0x9000, 2);
+        assert_eq!(e.shared_reads, 1);
+        assert_eq!(e.shared_writes, 2);
+        assert_eq!(e.private_accesses, 3);
+        assert_eq!(e.noise_prob, 0.5);
+        assert_eq!(e.pc_base, 0x9000);
+        assert_eq!(e.shared_pcs, 2);
+    }
+
+    #[test]
+    fn ops_per_core_scales_with_iterations() {
+        let s = spec();
+        assert!(s.ops_per_core() > 0);
+        let mut bigger = s.clone();
+        bigger.phases[0].iterations *= 2;
+        assert!(bigger.ops_per_core() > s.ops_per_core());
+    }
+}

@@ -1,0 +1,350 @@
+//! A plain-text workload specification format.
+//!
+//! Lets downstream users define benchmark models without recompiling. The
+//! format is line-oriented; `#` starts a comment; indentation is free-form:
+//!
+//! ```text
+//! benchmark tree-app
+//! comm-ratio 0.7
+//!
+//! phase 8                     # iterations
+//!   epoch 1 stable 4          # static-id, pattern
+//!     traffic 64 64           # shared reads, writes
+//!     private 16
+//!   epoch 2 switch 4 12 2     # first, second, switch-at
+//!     noise 0.05
+//!     cs 0 1 2 8              # lock-base, locks, sections, accesses
+//! end
+//!
+//! phase 4
+//!   epoch 3 random
+//! end
+//! ```
+//!
+//! Patterns: `stable <offset>`, `switch <first> <second> <at>`,
+//! `repetitive <stride> <period>`, `neighbor`, `random`,
+//! `widely <producers>`, `mixed <offset>`, `private`.
+
+use crate::pattern::SharingPattern;
+use crate::spec::{BenchmarkSpec, CsSpec, EpochSpec, Phase};
+use std::fmt;
+
+/// A malformed spec file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn parse_pattern(fields: &[&str], line: usize) -> Result<SharingPattern, ParseSpecError> {
+    let err = |message: String| ParseSpecError { line, message };
+    let num = |s: &str, what: &str| -> Result<usize, ParseSpecError> {
+        s.parse()
+            .map_err(|_| err(format!("bad {what} '{s}'")))
+    };
+    match fields {
+        ["stable", o] => Ok(SharingPattern::Stable {
+            offset: num(o, "offset")?,
+        }),
+        ["switch", a, b, at] => Ok(SharingPattern::StableSwitch {
+            first: num(a, "first offset")?,
+            second: num(b, "second offset")?,
+            switch_at: num(at, "switch instance")? as u64,
+        }),
+        ["repetitive", s, p] => Ok(SharingPattern::Repetitive {
+            stride: num(s, "stride")?,
+            period: num(p, "period")?,
+        }),
+        ["neighbor"] => Ok(SharingPattern::Neighbor),
+        ["random"] => Ok(SharingPattern::Random),
+        ["widely", n] => Ok(SharingPattern::WidelyShared {
+            producers: num(n, "producer count")?,
+        }),
+        ["mixed", o] => Ok(SharingPattern::Mixed {
+            offset: num(o, "offset")?,
+        }),
+        ["private"] => Ok(SharingPattern::PrivateOnly),
+        other => Err(err(format!("unknown pattern '{}'", other.join(" ")))),
+    }
+}
+
+/// Parses a benchmark specification from its text form.
+///
+/// # Errors
+///
+/// Returns a [`ParseSpecError`] naming the offending line.
+///
+/// # Examples
+///
+/// ```
+/// let text = "benchmark demo\nphase 2\n  epoch 1 stable 1\nend\n";
+/// let spec = spcp_workloads::textspec::parse_spec(text)?;
+/// assert_eq!(spec.name, "demo");
+/// assert_eq!(spec.static_epochs(), 1);
+/// # Ok::<(), spcp_workloads::textspec::ParseSpecError>(())
+/// ```
+pub fn parse_spec(text: &str) -> Result<BenchmarkSpec, ParseSpecError> {
+    let mut name: Option<String> = None;
+    let mut comm_ratio = 0.5f64;
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut cur_phase: Option<(u32, Vec<EpochSpec>)> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |message: String| ParseSpecError {
+            line: lineno,
+            message,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "benchmark" => {
+                if fields.len() != 2 {
+                    return Err(err("benchmark takes exactly one name".into()));
+                }
+                name = Some(fields[1].to_string());
+            }
+            "comm-ratio" => {
+                comm_ratio = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                    .ok_or_else(|| err("comm-ratio needs a value in [0, 1]".into()))?;
+            }
+            "phase" => {
+                if cur_phase.is_some() {
+                    return Err(err("nested phase (missing 'end'?)".into()));
+                }
+                let iters: u32 = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or_else(|| err("phase needs a positive iteration count".into()))?;
+                cur_phase = Some((iters, Vec::new()));
+            }
+            "end" => {
+                let (iters, epochs) = cur_phase
+                    .take()
+                    .ok_or_else(|| err("'end' without an open phase".into()))?;
+                if epochs.is_empty() {
+                    return Err(err("phase has no epochs".into()));
+                }
+                phases.push(Phase::new(epochs, iters));
+            }
+            "epoch" => {
+                let (_, epochs) = cur_phase
+                    .as_mut()
+                    .ok_or_else(|| err("'epoch' outside a phase".into()))?;
+                if fields.len() < 3 {
+                    return Err(err("epoch needs: epoch <static-id> <pattern...>".into()));
+                }
+                let static_id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| err(format!("bad static id '{}'", fields[1])))?;
+                let pattern = parse_pattern(&fields[2..], lineno)?;
+                epochs.push(EpochSpec::new(static_id, pattern));
+            }
+            "traffic" | "private" | "noise" | "cs" | "pcs" | "work" => {
+                let (_, epochs) = cur_phase
+                    .as_mut()
+                    .ok_or_else(|| err(format!("'{}' outside a phase", fields[0])))?;
+                let epoch = epochs
+                    .last_mut()
+                    .ok_or_else(|| err(format!("'{}' before any epoch", fields[0])))?;
+                if fields[0] == "noise" {
+                    epoch.noise_prob = fields
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v| (0.0..=1.0).contains(v))
+                        .ok_or_else(|| err("noise needs a probability in [0, 1]".into()))?;
+                    continue;
+                }
+                let nums: Vec<u32> = fields[1..]
+                    .iter()
+                    .map(|v| {
+                        let v = v.strip_prefix("0x").map_or_else(
+                            || v.parse::<u32>(),
+                            |hex| u32::from_str_radix(hex, 16),
+                        );
+                        v.map_err(|_| err("bad numeric argument".into()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                match (fields[0], nums.as_slice()) {
+                    ("traffic", [r, w]) => {
+                        epoch.shared_reads = *r;
+                        epoch.shared_writes = *w;
+                    }
+                    ("private", [p]) => epoch.private_accesses = *p,
+                    ("work", [w]) => epoch.work_per_access = *w,
+                    ("cs", [base, locks, sections, accesses]) => {
+                        if *locks == 0 {
+                            return Err(err("cs needs at least one lock".into()));
+                        }
+                        epoch.cs = Some(CsSpec {
+                            lock_base: *base,
+                            num_locks: *locks,
+                            sections: *sections,
+                            accesses: *accesses,
+                        });
+                    }
+                    ("pcs", [base, count]) => {
+                        if *count == 0 {
+                            return Err(err("pcs needs at least one static pc".into()));
+                        }
+                        epoch.pc_base = *base;
+                        epoch.shared_pcs = *count;
+                    }
+                    (kw, _) => return Err(err(format!("wrong argument count for '{kw}'"))),
+                }
+            }
+            other => return Err(err(format!("unknown directive '{other}'"))),
+        }
+    }
+
+    if cur_phase.is_some() {
+        return Err(ParseSpecError {
+            line: text.lines().count(),
+            message: "unterminated phase (missing 'end')".into(),
+        });
+    }
+    if phases.is_empty() {
+        return Err(ParseSpecError {
+            line: 1,
+            message: "spec defines no phases".into(),
+        });
+    }
+    let name = name.ok_or(ParseSpecError {
+        line: 1,
+        message: "missing 'benchmark <name>' directive".into(),
+    })?;
+    Ok(BenchmarkSpec {
+        // BenchmarkSpec names are `&'static str` throughout the workspace
+        // (they name compiled-in models); a parsed spec lives for the rest
+        // of the process, so leaking its small name string is the accepted
+        // trade-off.
+        name: Box::leak(name.into_boxed_str()),
+        phases,
+        seed_salt: PARSED_SPEC_SALT,
+        paper_comm_ratio: comm_ratio,
+    })
+}
+
+/// Seed salt shared by every parsed spec (distinct from all built-ins).
+pub const PARSED_SPEC_SALT: u64 = 0x59ec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# a demo workload
+benchmark demo
+comm-ratio 0.7
+
+phase 3
+  epoch 1 stable 4
+    traffic 32 16
+    private 8
+    noise 0.1
+  epoch 2 switch 1 5 2
+    cs 0 2 1 6
+end
+
+phase 2
+  epoch 3 repetitive 2 3
+    pcs 0x9000 2
+  epoch 4 neighbor
+  epoch 5 widely 6
+  epoch 6 mixed 3
+  epoch 7 private
+  epoch 8 random
+end
+";
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = parse_spec(GOOD).expect("valid spec");
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.paper_comm_ratio, 0.7);
+        assert_eq!(spec.phases.len(), 2);
+        assert_eq!(spec.static_epochs(), 8);
+        assert_eq!(spec.static_critical_sections(), 2);
+        let e1 = &spec.phases[0].epochs[0];
+        assert_eq!(e1.shared_reads, 32);
+        assert_eq!(e1.shared_writes, 16);
+        assert_eq!(e1.private_accesses, 8);
+        assert_eq!(e1.noise_prob, 0.1);
+        let e3 = &spec.phases[1].epochs[0];
+        assert_eq!(e3.pc_base, 0x9000);
+        assert_eq!(e3.shared_pcs, 2);
+    }
+
+    #[test]
+    fn parsed_spec_generates_and_runs() {
+        let spec = parse_spec(GOOD).unwrap();
+        let w = spec.generate(16, 3);
+        assert_eq!(w.num_cores(), 16);
+        assert!(w.total_ops() > 1000);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "benchmark x\nphase 1\n  epoch 1 stable 1\n  traffic 1\nend\n";
+        let err = parse_spec(bad).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("argument count"));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        assert!(parse_spec("phase 1\n  epoch 1 stable 1\nend\n")
+            .unwrap_err()
+            .message
+            .contains("benchmark"));
+        assert!(parse_spec("benchmark x\nphase 1\nend\n")
+            .unwrap_err()
+            .message
+            .contains("no epochs"));
+        assert!(parse_spec("benchmark x\nphase 1\n  epoch 1 stable 1\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(parse_spec("benchmark x\n")
+            .unwrap_err()
+            .message
+            .contains("no phases"));
+        assert!(parse_spec("benchmark x\nepoch 1 stable 1\n")
+            .unwrap_err()
+            .message
+            .contains("outside a phase"));
+    }
+
+    #[test]
+    fn rejects_bad_patterns_and_values() {
+        let with_pattern = |p: &str| format!("benchmark x\nphase 1\n  epoch 1 {p}\nend\n");
+        assert!(parse_spec(&with_pattern("stable")).is_err());
+        assert!(parse_spec(&with_pattern("zigzag 3")).is_err());
+        assert!(parse_spec(&with_pattern("repetitive 1")).is_err());
+        assert!(parse_spec("benchmark x\ncomm-ratio 7\nphase 1\n  epoch 1 random\nend\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse_spec("benchmark x # inline\n\n# full line\nphase 1\n  epoch 1 random\nend\n")
+            .unwrap();
+        assert_eq!(spec.name, "x");
+    }
+}

@@ -1,0 +1,79 @@
+//! Explore the sync-epoch structure and communication signatures of a
+//! benchmark — the §3 characterization as an interactive tool.
+//!
+//! Pass a benchmark name (default: bodytrack) and optionally a core index.
+//!
+//! ```sh
+//! cargo run --release --example epoch_explorer -- streamcluster 3
+//! ```
+
+use spcp::sim::CoreId;
+use spcp::system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig};
+use spcp::workloads::suite;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "bodytrack".into());
+    let core: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let spec = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(1);
+    });
+
+    let workload = spec.generate(16, 7);
+    let stats = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory).recording(),
+    );
+
+    let records = &stats.epoch_records[core];
+    println!(
+        "{name}, core {core}: {} dynamic epoch instances, {} communicating misses machine-wide\n",
+        records.len(),
+        stats.comm_misses
+    );
+    println!(
+        "{:<26} {:>8} {:>9}  hot set (10% threshold)",
+        "epoch (static, instance)", "volume", "hot size"
+    );
+    for r in records.iter().take(40) {
+        let hot = r.hot_set(0.10);
+        let bits: String = (0..16)
+            .map(|i| if hot.contains(CoreId::new(i)) { 'X' } else { '.' })
+            .collect();
+        println!(
+            "{:<26} {:>8} {:>9}  {}",
+            format!("({}, {})", r.id, r.instance),
+            r.total_volume(),
+            hot.len(),
+            bits
+        );
+    }
+    if records.len() > 40 {
+        println!("... ({} more instances)", records.len() - 40);
+    }
+
+    // Epoch-repeatability summary: how often does an instance's hot set
+    // equal the previous instance's hot set of the same static epoch?
+    let mut repeats = 0u64;
+    let mut chances = 0u64;
+    let mut last: std::collections::HashMap<_, _> = Default::default();
+    for r in records {
+        if r.total_volume() == 0 {
+            continue;
+        }
+        let hot = r.hot_set(0.10);
+        if let Some(prev) = last.insert(r.id, hot) {
+            chances += 1;
+            if prev == hot {
+                repeats += 1;
+            }
+        }
+    }
+    if chances > 0 {
+        println!(
+            "\nhot-set stability: {:.1}% of instances repeat the previous instance's hot set",
+            repeats as f64 / chances as f64 * 100.0
+        );
+    }
+}

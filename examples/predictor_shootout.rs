@@ -1,0 +1,80 @@
+//! Compare every destination-set predictor (SP, ADDR, INST, UNI) plus the
+//! oracle bound on one benchmark — a miniature of the paper's Figure 12.
+//!
+//! Pass a benchmark name as the first argument (default: fluidanimate).
+//!
+//! ```sh
+//! cargo run --release --example predictor_shootout -- ocean
+//! ```
+
+use spcp::system::{
+    CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig,
+};
+use spcp::workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fluidanimate".into());
+    let spec = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for s in suite::all() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(1);
+    });
+    let workload = spec.generate(16, 7);
+    let machine = MachineConfig::paper_16core();
+
+    let dir = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(machine.clone(), ProtocolKind::Directory),
+    );
+    println!(
+        "{name}: {} L2 misses, {:.1}% communicating\n",
+        dir.l2_misses,
+        dir.comm_ratio() * 100.0
+    );
+    println!(
+        "{:<8} {:>9} {:>12} {:>13} {:>12}",
+        "scheme", "accuracy", "+bandwidth", "miss latency", "storage(KB)"
+    );
+
+    // The a priori bound: record per-instance hot sets, then replay them.
+    let rec = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(machine.clone(), ProtocolKind::Directory).recording(),
+    );
+    let oracle_kind = PredictorKind::Oracle(OracleBook::from_records(&rec.epoch_records, 0.10));
+
+    let schemes = [
+        ("SP", PredictorKind::sp_default()),
+        (
+            "ADDR",
+            PredictorKind::Addr {
+                entries: None,
+                macroblock_bytes: 256,
+            },
+        ),
+        ("INST", PredictorKind::Inst { entries: None }),
+        ("UNI", PredictorKind::Uni),
+        ("ORACLE", oracle_kind),
+    ];
+    for (label, kind) in schemes {
+        let s = CmpSystem::run_workload(
+            &workload,
+            &RunConfig::new(machine.clone(), ProtocolKind::Predicted(kind)),
+        );
+        println!(
+            "{:<8} {:>8.1}% {:>11.1}% {:>12.1}c {:>12.2}",
+            label,
+            s.accuracy() * 100.0,
+            (s.bandwidth() as f64 / dir.bandwidth() as f64 - 1.0) * 100.0,
+            s.miss_latency.mean(),
+            s.predictor_storage_bits as f64 / 8.0 / 1024.0,
+        );
+    }
+    println!(
+        "\n(directory baseline: miss latency {:.1}c; lower-left of the",
+        dir.miss_latency.mean()
+    );
+    println!("accuracy/bandwidth plane wins — see fig12_tradeoff for the full study)");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: simulate one benchmark under the baseline directory
+//! protocol and under SP-prediction, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spcp::system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp::workloads::suite;
+
+fn main() {
+    // 1. Pick a workload model (x264, the paper's best case) and generate
+    //    deterministic per-core op streams for a 16-core machine.
+    let workload = suite::x264().generate(16, 42);
+    println!(
+        "workload: {} ({} ops across {} cores)",
+        workload.name(),
+        workload.total_ops(),
+        workload.num_cores()
+    );
+
+    // 2. Run it on the paper's Table-4 machine under the baseline
+    //    directory protocol...
+    let machine = MachineConfig::paper_16core();
+    let base = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(machine.clone(), ProtocolKind::Directory),
+    );
+
+    // 3. ...and again with SP-prediction plugged into each L2 controller.
+    let sp = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+    );
+
+    // 4. Compare.
+    println!("\n{:<28} {:>12} {:>12}", "", "directory", "SP-predicted");
+    println!(
+        "{:<28} {:>12.1}% {:>12.1}%",
+        "communicating misses",
+        base.comm_ratio() * 100.0,
+        sp.comm_ratio() * 100.0
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "avg miss latency (cycles)",
+        base.miss_latency.mean(),
+        sp.miss_latency.mean()
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "execution time (cycles)", base.exec_cycles, sp.exec_cycles
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "indirections", base.indirections, sp.indirections
+    );
+    println!(
+        "\nSP predicted {:.1}% of communicating misses correctly, cutting miss",
+        sp.accuracy() * 100.0
+    );
+    println!(
+        "latency by {:.1}% and execution time by {:.1}%.",
+        (1.0 - sp.miss_latency.mean() / base.miss_latency.mean()) * 100.0,
+        (1.0 - sp.exec_cycles as f64 / base.exec_cycles as f64) * 100.0
+    );
+}

@@ -1,0 +1,60 @@
+//! Collect a §3.2-style miss/sync trace, write it to disk, read it back,
+//! and run the trace-driven characterization — the paper's §3 methodology
+//! as a library workflow.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis -- water-ns
+//! ```
+
+use spcp::system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig};
+use spcp::trace::{read_trace, write_trace, TraceAnalyzer};
+use spcp::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "water-ns".into());
+    let spec = suite::by_name(&name).ok_or("unknown benchmark")?;
+
+    // 1. Run the workload with trace collection enabled.
+    let workload = spec.generate(16, 7);
+    let stats = CmpSystem::run_workload(
+        &workload,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory).tracing(),
+    );
+    println!("collected {} trace events from {name}", stats.trace.len());
+
+    // 2. Round-trip through the on-disk format.
+    let path = std::env::temp_dir().join(format!("{name}.spctrace"));
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    write_trace(&mut file, &stats.trace)?;
+    drop(file);
+    let events = read_trace(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(events, stats.trace);
+    println!("round-tripped through {}", path.display());
+
+    // 3. Characterize from the trace alone (no timing simulator needed).
+    let a = TraceAnalyzer::from_events(16, &events);
+    println!("\ntrace-driven characterization:");
+    println!("  misses               {}", a.total_misses());
+    println!(
+        "  communicating        {:.1}%",
+        a.comm_ratio() * 100.0
+    );
+    println!("  dynamic epochs/core  {:.1}", a.dynamic_epochs_per_core());
+    let dist = a.hot_set_size_distribution(0.10);
+    let total: u64 = dist.iter().sum::<u64>().max(1);
+    println!(
+        "  hot-set sizes        1:{:.0}% 2:{:.0}% 3:{:.0}% 4:{:.0}% >=5:{:.0}%",
+        dist[0] as f64 / total as f64 * 100.0,
+        dist[1] as f64 / total as f64 * 100.0,
+        dist[2] as f64 / total as f64 * 100.0,
+        dist[3] as f64 / total as f64 * 100.0,
+        dist[4] as f64 / total as f64 * 100.0,
+    );
+
+    // 4. Cross-check against the execution-driven statistics.
+    assert_eq!(a.total_misses(), stats.l2_misses);
+    assert_eq!(a.comm_misses(), stats.comm_misses);
+    println!("\ntrace-driven and execution-driven statistics agree.");
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! SPCP facade crate: re-exports the whole workspace public API.
+//!
+//! See the README for an overview; the crates are:
+//!
+//! * [`sim`] — discrete-event kernel (time, events, RNG, stats);
+//! * [`noc`] — 4×4 2D mesh network-on-chip model;
+//! * [`mem`] — caches, MESIF line states, full-map directory;
+//! * [`sync`] — synchronization points and sync-epoch tracking;
+//! * [`predict`] — **SP-prediction**, the paper's contribution;
+//! * [`baselines`] — ADDR / INST / UNI comparison predictors;
+//! * [`workloads`] — the 17 synthetic benchmark models;
+//! * [`trace`] — miss/sync-point traces + trace-driven characterization;
+//! * [`system`] — the 16-core CMP timing simulator tying it all together.
+
+#![warn(missing_docs)]
+
+pub use spcp_baselines as baselines;
+pub use spcp_core as predict;
+pub use spcp_mem as mem;
+pub use spcp_noc as noc;
+pub use spcp_sim as sim;
+pub use spcp_sync as sync;
+pub use spcp_trace as trace;
+pub use spcp_system as system;
+pub use spcp_workloads as workloads;

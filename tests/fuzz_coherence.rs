@@ -1,0 +1,206 @@
+//! Property-based whole-system fuzzing: random (but well-formed)
+//! multithreaded programs are executed under every protocol with full
+//! coherence-invariant validation, and cross-protocol conservation laws
+//! are checked.
+
+use proptest::prelude::*;
+use spcp::mem::Addr;
+use spcp::system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig, RunStats};
+use spcp::sync::{LockId, StaticSyncId, SyncPoint};
+use spcp::workloads::{Op, Workload};
+
+/// One generated action inside an epoch.
+#[derive(Debug, Clone)]
+enum Action {
+    Load(u8),
+    Store(u8),
+    /// Critical section on one of 4 locks with a few accesses inside.
+    Critical(u8, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..32).prop_map(Action::Load),
+        (0u8..32).prop_map(Action::Store),
+        ((0u8..4), (1u8..5)).prop_map(|(l, n)| Action::Critical(l, n)),
+    ]
+}
+
+/// A program: per-epoch, per-thread action lists; all threads share the
+/// same barrier skeleton.
+fn program_strategy(
+    threads: usize,
+) -> impl Strategy<Value = Vec<Vec<Vec<Action>>>> {
+    // 1..4 epochs, each with per-thread action lists of 0..12 actions.
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 0..12),
+            threads,
+        ),
+        1..4,
+    )
+}
+
+/// Lowers the generated program to op streams. Addresses come from a tiny
+/// shared pool so threads genuinely collide.
+fn lower(program: &[Vec<Vec<Action>>], threads: usize) -> Workload {
+    let mut streams: Vec<Vec<Op>> = vec![Vec::new(); threads];
+    for (e, epoch) in program.iter().enumerate() {
+        for (t, stream) in streams.iter_mut().enumerate() {
+            stream.push(Op::Sync(SyncPoint::barrier(StaticSyncId::new(e as u32 + 1))));
+            for action in &epoch[t] {
+                match *action {
+                    Action::Load(b) => stream.push(Op::Load {
+                        addr: Addr::new(b as u64 * 64),
+                        pc: 0x100 + b as u32,
+                    }),
+                    Action::Store(b) => stream.push(Op::Store {
+                        addr: Addr::new(b as u64 * 64),
+                        pc: 0x200 + b as u32,
+                    }),
+                    Action::Critical(l, n) => {
+                        let lock = LockId::new(l as u32);
+                        stream.push(Op::Sync(SyncPoint::lock(lock)));
+                        for i in 0..n {
+                            let addr = Addr::new(0x4000_0000 + (l as u64 * 16 + i as u64) * 64);
+                            if i % 2 == 0 {
+                                stream.push(Op::Load { addr, pc: 0x300 });
+                            } else {
+                                stream.push(Op::Store { addr, pc: 0x304 });
+                            }
+                        }
+                        stream.push(Op::Sync(SyncPoint::unlock(lock)));
+                    }
+                }
+            }
+        }
+        // Close the program with a final barrier so every epoch ends.
+        if e + 1 == program.len() {
+            for stream in streams.iter_mut() {
+                stream.push(Op::Sync(SyncPoint::barrier(StaticSyncId::new(99))));
+            }
+        }
+    }
+    Workload::from_threads("fuzz", streams)
+}
+
+fn small_machine() -> MachineConfig {
+    let mut m = MachineConfig::paper_16core();
+    m.num_cores = 4;
+    m.noc = spcp::noc::NocConfig {
+        width: 2,
+        height: 2,
+        ..spcp::noc::NocConfig::default()
+    };
+    m
+}
+
+fn run_validated(w: &Workload, proto: ProtocolKind) -> RunStats {
+    CmpSystem::run_workload_validated(w, &RunConfig::new(small_machine(), proto))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every protocol preserves coherence on arbitrary well-formed
+    /// programs, and they all agree on what the workload *is*.
+    #[test]
+    fn protocols_preserve_coherence_on_random_programs(
+        program in program_strategy(4)
+    ) {
+        let w = lower(&program, 4);
+        let dir = run_validated(&w, ProtocolKind::Directory);
+        let bc = run_validated(&w, ProtocolKind::Broadcast);
+        let sp = run_validated(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+        let mc = run_validated(&w, ProtocolKind::MulticastSnoop(PredictorKind::sp_default()));
+
+        // The op stream is protocol-independent.
+        prop_assert_eq!(dir.total_ops, bc.total_ops);
+        prop_assert_eq!(dir.total_ops, sp.total_ops);
+        prop_assert_eq!(dir.loads + dir.stores, sp.loads + sp.stores);
+
+        // Miss totals are timing-dependent for racy programs (a remote
+        // store may invalidate between two loads under one protocol but
+        // not another), so only bounds hold: every protocol misses at
+        // least once per distinct cold block touched, and never more than
+        // the number of memory operations.
+        let distinct_blocks: std::collections::HashSet<u64> = w
+            .threads()
+            .iter()
+            .flatten()
+            .filter_map(|o| o.addr())
+            .map(|a| a.block().index())
+            .collect();
+        for s in [&dir, &bc, &sp, &mc] {
+            let total = s.comm_misses + s.noncomm_misses;
+            prop_assert!(total >= distinct_blocks.len() as u64);
+            prop_assert!(total <= s.loads + s.stores);
+            prop_assert_eq!(total, s.l2_misses);
+        }
+
+        // Conservation: every communicating miss under prediction either
+        // avoided indirection or paid it.
+        prop_assert_eq!(sp.indirections + sp.pred_sufficient_comm, sp.comm_misses);
+        prop_assert_eq!(mc.indirections + mc.pred_sufficient_comm, mc.comm_misses);
+        // The baseline always pays.
+        prop_assert_eq!(dir.indirections, dir.comm_misses);
+    }
+
+    /// Determinism: identical runs produce identical statistics.
+    #[test]
+    fn random_programs_run_deterministically(program in program_strategy(4)) {
+        let w = lower(&program, 4);
+        let a = run_validated(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+        let b = run_validated(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
+        prop_assert_eq!(a.noc.byte_hops, b.noc.byte_hops);
+        prop_assert_eq!(a.comm_matrix, b.comm_matrix);
+    }
+
+    /// Thread migration never breaks coherence or the conservation laws,
+    /// with either signature-tracking mode.
+    #[test]
+    fn migration_preserves_coherence(
+        program in program_strategy(4),
+        every in 1u64..3,
+        rotation in 1usize..4,
+        logical: bool,
+    ) {
+        let w = lower(&program, 4);
+        let cfg = RunConfig::new(
+            small_machine(),
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        )
+        .with_migration(every, rotation, logical);
+        let s = CmpSystem::run_workload_validated(&w, &cfg);
+        prop_assert_eq!(s.indirections + s.pred_sufficient_comm, s.comm_misses);
+        prop_assert_eq!(s.miss_latency.count(), s.l2_misses);
+    }
+
+    /// The region filter never suppresses a communicating miss and keeps
+    /// all conservation laws intact.
+    #[test]
+    fn snoop_filter_preserves_invariants(program in program_strategy(4)) {
+        let w = lower(&program, 4);
+        let cfg = RunConfig::new(
+            small_machine(),
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        )
+        .with_snoop_filter();
+        let s = CmpSystem::run_workload_validated(&w, &cfg);
+        prop_assert_eq!(s.indirections + s.pred_sufficient_comm, s.comm_misses);
+    }
+
+    /// The predicted protocol can never lose misses: latency samples cover
+    /// every L2 miss, and sufficiency never exceeds attempts.
+    #[test]
+    fn prediction_accounting_is_consistent(program in program_strategy(4)) {
+        let w = lower(&program, 4);
+        let s = run_validated(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
+        prop_assert_eq!(s.miss_latency.count(), s.l2_misses);
+        prop_assert!(s.pred_sufficient >= s.pred_sufficient_comm);
+        prop_assert!(s.predictions >= s.pred_insufficient);
+        prop_assert_eq!(s.predictions, s.pred_sufficient + s.pred_insufficient);
+        prop_assert!(s.comm_miss_latency.count() == s.comm_misses);
+    }
+}

@@ -1,0 +1,372 @@
+//! Property-based tests on the core data structures and invariants,
+//! cross-checked against simple reference models.
+
+use proptest::prelude::*;
+use spcp::mem::{BlockAddr, CacheConfig, SetAssocCache, BLOCK_BYTES};
+use spcp::predict::CommCounters;
+use spcp::sim::{CoreId, CoreSet, Cycle, EventQueue};
+use spcp::noc::Mesh;
+
+proptest! {
+    // ---------------- CoreSet algebra ----------------
+
+    #[test]
+    fn coreset_union_superset_of_both(a: u64, b: u64) {
+        let (sa, sb) = (CoreSet::from_bits(a), CoreSet::from_bits(b));
+        let u = sa.union(sb);
+        prop_assert!(u.is_superset(sa));
+        prop_assert!(u.is_superset(sb));
+        prop_assert_eq!(u, sb.union(sa));
+    }
+
+    #[test]
+    fn coreset_intersect_subset_of_both(a: u64, b: u64) {
+        let (sa, sb) = (CoreSet::from_bits(a), CoreSet::from_bits(b));
+        let i = sa.intersect(sb);
+        prop_assert!(sa.is_superset(i));
+        prop_assert!(sb.is_superset(i));
+    }
+
+    #[test]
+    fn coreset_len_matches_iteration(a: u64) {
+        let s = CoreSet::from_bits(a);
+        prop_assert_eq!(s.len(), s.iter().count());
+        // Round trip through the iterator.
+        let rebuilt: CoreSet = s.iter().collect();
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn coreset_difference_disjoint_from_subtrahend(a: u64, b: u64) {
+        let d = CoreSet::from_bits(a).difference(CoreSet::from_bits(b));
+        prop_assert!(d.intersect(CoreSet::from_bits(b)).is_empty());
+    }
+
+    // ---------------- Event queue ----------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle::new(t), i);
+        }
+        let mut last = Cycle::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn event_queue_equal_times_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(Cycle::new(42), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().map(|(_, x)| x), Some(i));
+        }
+    }
+
+    // ---------------- Mesh routing ----------------
+
+    #[test]
+    fn mesh_route_reaches_destination(w in 1usize..6, h in 1usize..6, s: u16, d: u16) {
+        let mesh = Mesh::new(w, h);
+        let n = mesh.nodes();
+        let src = CoreId::new(s as usize % n);
+        let dst = CoreId::new(d as usize % n);
+        let route = mesh.route(src, dst);
+        prop_assert_eq!(route.len(), mesh.hops(src, dst));
+        // Hops satisfy the triangle equality for X-Y routing via any
+        // intermediate column point.
+        prop_assert_eq!(mesh.hops(src, dst), mesh.hops(dst, src));
+    }
+
+    #[test]
+    fn mesh_hops_triangle_inequality(s: u16, m: u16, d: u16) {
+        let mesh = Mesh::new(4, 4);
+        let a = CoreId::new(s as usize % 16);
+        let b = CoreId::new(m as usize % 16);
+        let c = CoreId::new(d as usize % 16);
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+    }
+
+    // ---------------- Set-associative cache vs reference model ----------------
+
+    #[test]
+    fn cache_agrees_with_reference_lru(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        // 2-way, 4-set cache against a per-set reference LRU list.
+        let cfg = CacheConfig {
+            size_bytes: 8 * BLOCK_BYTES,
+            assoc: 2,
+            block_bytes: BLOCK_BYTES,
+            tag_cycles: 1,
+            data_cycles: 1,
+        };
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(cfg);
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 4]; // MRU at back
+        for (block, is_insert) in ops {
+            let set = (block % 4) as usize;
+            let b = BlockAddr::from_index(block);
+            if is_insert {
+                cache.insert(b, block);
+                let r = &mut reference[set];
+                if let Some(pos) = r.iter().position(|&x| x == block) {
+                    r.remove(pos);
+                } else if r.len() == 2 {
+                    r.remove(0); // evict LRU
+                }
+                r.push(block);
+            } else {
+                let hit = cache.lookup(b).is_some();
+                let r = &mut reference[set];
+                let ref_hit = r.contains(&block);
+                prop_assert_eq!(hit, ref_hit, "block {}", block);
+                if let Some(pos) = r.iter().position(|&x| x == block) {
+                    let v = r.remove(pos);
+                    r.push(v); // refresh recency
+                }
+            }
+        }
+        // Final contents agree.
+        let mut got: Vec<u64> = cache.iter().map(|(b, _)| b.index()).collect();
+        let mut want: Vec<u64> = reference.into_iter().flatten().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    // ---------------- Hot-set extraction ----------------
+
+    #[test]
+    fn hot_set_members_meet_threshold(
+        volumes in proptest::collection::vec(0u32..200, 16),
+        th in 0.01f64..0.5,
+    ) {
+        let mut c = CommCounters::new(16);
+        for (i, &v) in volumes.iter().enumerate() {
+            for _ in 0..v {
+                c.record(CoreId::new(i));
+            }
+        }
+        let hot = c.hot_set(th, None);
+        let total = c.total();
+        for core in hot.iter() {
+            prop_assert!(
+                c.volume(core) as f64 >= (total as f64 * th).ceil().max(1.0) - 0.5,
+                "member below threshold"
+            );
+        }
+        // Non-members are below threshold.
+        for i in 0..16 {
+            let core = CoreId::new(i);
+            if !hot.contains(core) && total > 0 {
+                prop_assert!((c.volume(core) as u64) < ((total as f64 * th).ceil() as u64).max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn hot_set_cap_keeps_hottest(volumes in proptest::collection::vec(0u32..100, 16)) {
+        let mut c = CommCounters::new(16);
+        for (i, &v) in volumes.iter().enumerate() {
+            for _ in 0..v {
+                c.record(CoreId::new(i));
+            }
+        }
+        let capped = c.hot_set(0.05, Some(2));
+        prop_assert!(capped.len() <= 2);
+        let uncapped = c.hot_set(0.05, None);
+        prop_assert!(uncapped.is_superset(capped));
+        // Every member of the capped set has volume >= every non-member of
+        // the uncapped set that was dropped.
+        for m in capped.iter() {
+            for d in uncapped.difference(capped).iter() {
+                prop_assert!(c.volume(m) >= c.volume(d));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_by_top_is_monotone(volumes in proptest::collection::vec(0u32..100, 16)) {
+        let mut c = CommCounters::new(16);
+        for (i, &v) in volumes.iter().enumerate() {
+            for _ in 0..v {
+                c.record(CoreId::new(i));
+            }
+        }
+        let mut prev = 0.0;
+        for k in 0..=16 {
+            let cov = c.coverage_by_top(k);
+            prop_assert!(cov + 1e-12 >= prev);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&cov));
+            prev = cov;
+        }
+        if c.total() > 0 {
+            prop_assert!((c.coverage_by_top(16) - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------- Signature history ----------------
+
+proptest! {
+    #[test]
+    fn sig_history_keeps_newest_d(sigs in proptest::collection::vec(0u64..0xFFFF, 1..40), d in 1usize..5) {
+        let mut h = spcp::predict::SigHistory::new(d);
+        for &s in &sigs {
+            h.push(CoreSet::from_bits(s));
+        }
+        prop_assert_eq!(h.len(), sigs.len().min(d));
+        prop_assert_eq!(h.newest(), Some(CoreSet::from_bits(*sigs.last().unwrap())));
+        if sigs.len() >= 2 && d >= 2 {
+            prop_assert_eq!(h.previous(), Some(CoreSet::from_bits(sigs[sigs.len() - 2])));
+        }
+        // stable() is always a subset of the newest signature's union with
+        // the previous.
+        if let Some(st) = h.stable() {
+            prop_assert!(h.union().is_superset(st));
+        }
+    }
+
+    #[test]
+    fn stride2_flag_matches_definition(sigs in proptest::collection::vec(0u64..16, 3..30)) {
+        let mut h = spcp::predict::SigHistory::new(2);
+        let mut expected = false;
+        for (i, &s) in sigs.iter().enumerate() {
+            if i >= 2 {
+                expected = s == sigs[i - 2] && s != sigs[i - 1];
+            }
+            h.push(CoreSet::from_bits(s));
+        }
+        prop_assert_eq!(h.stride2_detected(), expected);
+    }
+}
+
+// ---------------- NoC fabric ----------------
+
+proptest! {
+    #[test]
+    fn fabric_latency_monotone_in_departure_without_contention(
+        src in 0usize..16, dst in 0usize..16, t1 in 0u64..10_000, dt in 0u64..10_000,
+    ) {
+        use spcp::noc::{Fabric, MsgKind, NocConfig};
+        use spcp::sim::Cycle;
+        let mut f = Fabric::new(NocConfig { model_contention: false, ..NocConfig::default() });
+        let a = f.send(
+            spcp::sim::CoreId::new(src), spcp::sim::CoreId::new(dst),
+            MsgKind::Request, Cycle::new(t1),
+        );
+        let b = f.send(
+            spcp::sim::CoreId::new(src), spcp::sim::CoreId::new(dst),
+            MsgKind::Request, Cycle::new(t1 + dt),
+        );
+        // Same route, later departure: arrival shifts by exactly dt.
+        prop_assert_eq!(b.as_u64() - a.as_u64(), dt);
+        // And arrival never precedes departure.
+        prop_assert!(a.as_u64() >= t1);
+    }
+
+    #[test]
+    fn fabric_accounting_is_additive(
+        pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..60),
+    ) {
+        use spcp::noc::{Fabric, Mesh, MsgKind, NocConfig};
+        use spcp::sim::Cycle;
+        let mut f = Fabric::new(NocConfig::default());
+        let mesh = Mesh::new(4, 4);
+        let mut expected_hops = 0u64;
+        for &(s, d) in &pairs {
+            f.send(
+                spcp::sim::CoreId::new(s), spcp::sim::CoreId::new(d),
+                MsgKind::Request, Cycle::ZERO,
+            );
+            expected_hops += mesh.hops(spcp::sim::CoreId::new(s), spcp::sim::CoreId::new(d)) as u64;
+        }
+        let stats = f.stats();
+        prop_assert_eq!(stats.messages, pairs.len() as u64);
+        prop_assert_eq!(stats.byte_hops, 8 * expected_hops);
+        prop_assert_eq!(stats.ctrl_byte_hops, stats.byte_hops, "requests are control-only");
+        // Energy: 5 units per byte-hop (link 1 + router 4).
+        prop_assert!((stats.energy - 5.0 * stats.byte_hops as f64).abs() < 1e-6);
+    }
+}
+
+// ---------------- Trace analyzer vs raw event stream ----------------
+
+proptest! {
+    #[test]
+    fn trace_analyzer_counts_match_stream(
+        events in proptest::collection::vec((0usize..8, 0u64..4, any::<bool>()), 0..200),
+    ) {
+        use spcp::trace::{TraceAnalyzer, TraceEvent};
+        use spcp::sync::SyncKind;
+        let stream: Vec<TraceEvent> = events
+            .iter()
+            .map(|&(core, val, is_sync)| {
+                if is_sync {
+                    TraceEvent::Sync {
+                        core: spcp::sim::CoreId::new(core),
+                        kind: SyncKind::Barrier,
+                        static_id: val as u32 + 1,
+                        instance: 0,
+                    }
+                } else {
+                    TraceEvent::Miss {
+                        core: spcp::sim::CoreId::new(core),
+                        block: spcp::mem::BlockAddr::from_index(val),
+                        pc: 0,
+                        kind: spcp::predict::AccessKind::Read,
+                        targets: spcp::sim::CoreSet::from_bits(val),
+                    }
+                }
+            })
+            .collect();
+        let a = TraceAnalyzer::from_events(8, &stream);
+        let misses = stream.iter().filter(|e| matches!(e, TraceEvent::Miss { .. })).count() as u64;
+        let comm = stream.iter().filter(|e| e.is_communicating_miss()).count() as u64;
+        let syncs = stream.len() as u64 - misses;
+        prop_assert_eq!(a.total_misses(), misses);
+        prop_assert_eq!(a.comm_misses(), comm);
+        prop_assert_eq!(a.epochs().len() as u64, syncs);
+        // Attributed volume never exceeds total communication events.
+        let attributed: u64 = a.epochs().iter().map(|e| e.total_volume()).sum();
+        let total_targets: u64 = stream
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Miss { targets, .. } => Some(targets.len() as u64),
+                _ => None,
+            })
+            .sum();
+        prop_assert!(attributed <= total_targets);
+    }
+}
+
+// ---------------- Workload generation ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn generation_deterministic_and_balanced(seed: u64) {
+        let spec = spcp::workloads::suite::x264();
+        let a = spec.generate(16, seed);
+        let b = spec.generate(16, seed);
+        prop_assert_eq!(a.threads(), b.threads());
+        // All threads observe the same barrier count.
+        let barriers: Vec<usize> = a
+            .threads()
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .filter(|o| matches!(o, spcp::workloads::Op::Sync(p)
+                        if p.kind == spcp::sync::SyncKind::Barrier))
+                    .count()
+            })
+            .collect();
+        prop_assert!(barriers.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end trace pipeline tests: collect a §3.2-style trace from the
+//! simulator, round-trip it through the codec, and verify that the
+//! trace-driven characterization agrees with the execution-driven
+//! statistics.
+
+use spcp::system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig};
+use spcp::trace::{read_trace, write_trace, TraceAnalyzer, TraceEvent};
+use spcp::workloads::suite;
+
+fn traced_run(name: &str) -> spcp::system::RunStats {
+    let w = suite::by_name(name).expect("known benchmark").generate(16, 7);
+    CmpSystem::run_workload(
+        &w,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory)
+            .tracing()
+            .recording(),
+    )
+}
+
+#[test]
+fn trace_contains_misses_and_sync_points() {
+    let s = traced_run("x264");
+    let misses = s
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Miss { .. }))
+        .count() as u64;
+    let syncs = s
+        .trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Sync { .. }))
+        .count();
+    assert_eq!(misses, s.l2_misses);
+    assert!(syncs > 16, "every barrier/lock/unlock must be traced");
+}
+
+#[test]
+fn trace_round_trips_through_the_codec() {
+    let s = traced_run("ferret");
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &s.trace).expect("in-memory write");
+    let back = read_trace(buf.as_slice()).expect("parse back");
+    assert_eq!(back, s.trace);
+}
+
+#[test]
+fn trace_driven_characterization_matches_execution_driven() {
+    let s = traced_run("bodytrack");
+    let a = TraceAnalyzer::from_events(16, &s.trace);
+    assert_eq!(a.total_misses(), s.l2_misses);
+    assert_eq!(a.comm_misses(), s.comm_misses);
+    assert!((a.comm_ratio() - s.comm_ratio()).abs() < 1e-12);
+    // Epoch volume totals agree with the recorded epoch records.
+    let trace_volume: u64 = a.epochs().iter().map(|e| e.total_volume()).sum();
+    let record_volume: u64 = s
+        .epoch_records
+        .iter()
+        .flatten()
+        .map(|r| r.total_volume())
+        .sum();
+    assert_eq!(trace_volume, record_volume);
+    // Dynamic epoch counts agree.
+    let record_epochs: usize = s.epoch_records.iter().map(|r| r.len()).sum();
+    assert_eq!(a.epochs().len(), record_epochs);
+}
+
+#[test]
+fn tracing_off_collects_nothing() {
+    let w = suite::x264().generate(16, 7);
+    let s = CmpSystem::run_workload(
+        &w,
+        &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory),
+    );
+    assert!(s.trace.is_empty());
+}
