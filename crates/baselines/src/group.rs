@@ -155,8 +155,14 @@ mod tests {
         for _ in 0..ROLLOVER_PERIOD as usize * 4 {
             e.train_up(core(1));
         }
-        assert!(!e.predicted_set().contains(core(0)), "inactive core must decay");
-        assert!(e.predicted_set().contains(core(1)), "active core must persist");
+        assert!(
+            !e.predicted_set().contains(core(0)),
+            "inactive core must decay"
+        );
+        assert!(
+            e.predicted_set().contains(core(1)),
+            "active core must persist"
+        );
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod policy;
 pub mod schemes;
 
 pub use group::GroupEntry;
-pub use policy::SetPolicy;
 pub use lru::LruTable;
+pub use policy::SetPolicy;
 pub use schemes::{AddrPredictor, InstPredictor, UniPredictor};

@@ -195,7 +195,9 @@ impl TargetPredictor for InstPredictor {
         }
         let n = self.num_cores;
         let me = self.me;
-        let entry = self.table.get_or_insert_with(miss.pc, || GroupEntry::new(n));
+        let entry = self
+            .table
+            .get_or_insert_with(miss.pc, || GroupEntry::new(n));
         train_entry(entry, me, outcome.actual);
     }
 
@@ -207,7 +209,9 @@ impl TargetPredictor for InstPredictor {
         // simulator forwards the requesting instruction's PC in the probe).
         let n = self.num_cores;
         let me = self.me;
-        let entry = self.table.get_or_insert_with(miss.pc, || GroupEntry::new(n));
+        let entry = self
+            .table
+            .get_or_insert_with(miss.pc, || GroupEntry::new(n));
         if requester != me {
             entry.train_up(requester);
         }
@@ -292,7 +296,10 @@ mod tests {
         // Blocks 0..3 share macroblock 0 (256 B); block 100 does not.
         p.train(&miss(0, 1), out(0b100));
         p.train(&miss(1, 1), out(0b100));
-        assert!(p.predict(&miss(3, 2)).contains(CoreId::new(2)), "same macroblock");
+        assert!(
+            p.predict(&miss(3, 2)).contains(CoreId::new(2)),
+            "same macroblock"
+        );
         assert!(p.predict(&miss(100, 2)).is_empty(), "different macroblock");
     }
 
@@ -323,7 +330,10 @@ mod tests {
             p.train(&miss(b, 1), out(0b10));
         }
         assert_eq!(p.entries(), 2);
-        assert!(p.predict(&miss(0, 1)).is_empty(), "first macroblock evicted");
+        assert!(
+            p.predict(&miss(0, 1)).is_empty(),
+            "first macroblock evicted"
+        );
     }
 
     #[test]
@@ -331,7 +341,10 @@ mod tests {
         let mut p = InstPredictor::unlimited(CoreId::new(0), 16);
         p.train(&miss(0, 0x40), out(0b1000));
         p.train(&miss(50, 0x40), out(0b1000));
-        assert!(p.predict(&miss(999, 0x40)).contains(CoreId::new(3)), "same pc");
+        assert!(
+            p.predict(&miss(999, 0x40)).contains(CoreId::new(3)),
+            "same pc"
+        );
         assert!(p.predict(&miss(0, 0x44)).is_empty(), "different pc");
     }
 

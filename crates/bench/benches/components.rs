@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the core data structures: predictor
-//! operations (the per-miss and per-sync-point costs the paper's §5.5 power
-//! argument rests on), cache lookups, and NoC routing.
+//! Micro-benchmarks of the core data structures: predictor operations (the
+//! per-miss and per-sync-point costs the paper's §5.5 power argument rests
+//! on), cache lookups, and NoC routing.
+//!
+//! Uses the dependency-free `spcp_bench::timing` runner so the workspace
+//! builds offline. Run with `cargo bench -p spcp-bench --bench components`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use spcp_baselines::{AddrPredictor, GroupEntry, InstPredictor, UniPredictor};
+use spcp_bench::timing;
 use spcp_core::{
     AccessKind, CommCounters, MissInfo, PredictionOutcome, SpConfig, SpPredictor, SpTable,
     TargetPredictor,
@@ -14,22 +19,26 @@ use spcp_sim::{CoreId, CoreSet, Cycle};
 use spcp_sync::{EpochId, StaticSyncId, SyncKind, SyncPoint};
 
 fn miss(i: u64) -> MissInfo {
-    MissInfo::new(BlockAddr::from_index(i), (i as u32 % 64) * 4, AccessKind::Read)
+    MissInfo::new(
+        BlockAddr::from_index(i),
+        (i as u32 % 64) * 4,
+        AccessKind::Read,
+    )
 }
 
-fn bench_sp_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sp_predictor");
+fn bench_sp_predictor() {
+    timing::group("sp_predictor");
     // The SP-table is touched only on sync-points; misses hit a register.
-    g.bench_function("predict_per_miss", |b| {
+    {
         let mut p = SpPredictor::new(CoreId::new(0), 16, SpConfig::default());
         p.on_sync_point(SyncPoint::barrier(StaticSyncId::new(1)), None);
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("predict_per_miss", || {
             i += 1;
             black_box(p.predict(&miss(i)))
         });
-    });
-    g.bench_function("train_per_miss", |b| {
+    }
+    {
         let mut p = SpPredictor::new(CoreId::new(0), 16, SpConfig::default());
         p.on_sync_point(SyncPoint::barrier(StaticSyncId::new(1)), None);
         let outcome = PredictionOutcome {
@@ -38,158 +47,155 @@ fn bench_sp_predictor(c: &mut Criterion) {
             sufficient: true,
         };
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("train_per_miss", || {
             i += 1;
             p.train(&miss(i), black_box(outcome));
         });
-    });
-    g.bench_function("sync_point_transition", |b| {
+    }
+    {
         let mut p = SpPredictor::new(CoreId::new(0), 16, SpConfig::default());
         let mut i = 0u32;
-        b.iter(|| {
+        timing::bench("sync_point_transition", || {
             i = (i + 1) % 30;
             p.on_sync_point(SyncPoint::barrier(StaticSyncId::new(i)), None);
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_sp_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sp_table");
+fn bench_sp_table() {
+    timing::group("sp_table");
     let id = |i: u32| EpochId {
         kind: SyncKind::Barrier,
         static_id: StaticSyncId::new(i),
     };
-    g.bench_function("store", |b| {
+    {
         let mut t = SpTable::new(2, None);
         let mut i = 0u32;
-        b.iter(|| {
+        timing::bench("store", || {
             i = (i + 1) % 30;
             t.store(id(i), CoreSet::from_bits(i as u64));
         });
-    });
-    g.bench_function("history_lookup", |b| {
+    }
+    {
         let mut t = SpTable::new(2, None);
         for i in 0..30 {
             t.store(id(i), CoreSet::from_bits(i as u64));
         }
         let mut i = 0u32;
-        b.iter(|| {
+        timing::bench("history_lookup", || {
             i = (i + 1) % 30;
             black_box(t.history(id(i)).is_some())
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_comm_counters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("comm_counters");
-    g.bench_function("record", |b| {
+fn bench_comm_counters() {
+    timing::group("comm_counters");
+    {
         let mut counters = CommCounters::new(16);
         let mut i = 0usize;
-        b.iter(|| {
+        timing::bench("record", || {
             i = (i + 1) % 16;
             counters.record(CoreId::new(i));
         });
-    });
-    g.bench_function("hot_set_extraction", |b| {
+    }
+    {
         let mut counters = CommCounters::new(16);
         for i in 0..16 {
             for _ in 0..(i * 7 % 40) {
                 counters.record(CoreId::new(i));
             }
         }
-        b.iter(|| black_box(counters.hot_set(0.10, None)));
-    });
-    g.finish();
+        timing::bench("hot_set_extraction", || {
+            black_box(counters.hot_set(0.10, None))
+        });
+    }
 }
 
-fn bench_comparison_predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baseline_predictors");
+fn bench_comparison_predictors() {
+    timing::group("baseline_predictors");
     let outcome = PredictionOutcome {
         actual: CoreSet::from_bits(0b100),
         predicted: CoreSet::empty(),
         sufficient: false,
     };
-    g.bench_function("addr_predict_and_train", |b| {
+    {
         let mut p = AddrPredictor::unlimited(CoreId::new(0), 16);
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("addr_predict_and_train", || {
             i += 1;
             let m = miss(i % 4096);
             black_box(p.predict(&m));
             p.train(&m, outcome);
         });
-    });
-    g.bench_function("inst_predict_and_train", |b| {
+    }
+    {
         let mut p = InstPredictor::unlimited(CoreId::new(0), 16);
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("inst_predict_and_train", || {
             i += 1;
             let m = miss(i % 4096);
             black_box(p.predict(&m));
             p.train(&m, outcome);
         });
-    });
-    g.bench_function("uni_predict_and_train", |b| {
+    }
+    {
         let mut p = UniPredictor::new(CoreId::new(0), 16);
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("uni_predict_and_train", || {
             i += 1;
             let m = miss(i);
             black_box(p.predict(&m));
             p.train(&m, outcome);
         });
-    });
-    g.bench_function("group_entry_train_up", |b| {
+    }
+    {
         let mut e = GroupEntry::new(16);
         let mut i = 0usize;
-        b.iter(|| {
+        timing::bench("group_entry_train_up", || {
             i = (i + 1) % 16;
             e.train_up(CoreId::new(i));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("l2_cache");
-    g.bench_function("hit_lookup", |b| {
+fn bench_cache() {
+    timing::group("l2_cache");
+    {
         let mut l2: SetAssocCache<u8> = SetAssocCache::new(CacheConfig::l2_1mb());
         for i in 0..4096 {
             l2.insert(BlockAddr::from_index(i), 0);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("hit_lookup", || {
             i = (i + 1) % 4096;
             black_box(l2.lookup(BlockAddr::from_index(i)).is_some())
         });
-    });
-    g.bench_function("insert_with_eviction", |b| {
+    }
+    {
         let mut l2: SetAssocCache<u8> = SetAssocCache::new(CacheConfig::l1_16kb());
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("insert_with_eviction", || {
             i += 1;
             black_box(l2.insert(BlockAddr::from_index(i), 0))
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_noc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("noc");
-    g.bench_function("route_computation", |b| {
+fn bench_noc() {
+    timing::group("noc");
+    {
         let mesh = Mesh::new(4, 4);
         let mut i = 0usize;
-        b.iter(|| {
+        timing::bench("route_computation", || {
             i = (i + 1) % 256;
             black_box(mesh.route(CoreId::new(i / 16), CoreId::new(i % 16)))
         });
-    });
-    g.bench_function("timed_send", |b| {
+    }
+    {
         let mut fabric = Fabric::new(NocConfig::default());
         let mut i = 0u64;
-        b.iter(|| {
+        timing::bench("timed_send", || {
             i += 1;
             black_box(fabric.send(
                 CoreId::new((i % 16) as usize),
@@ -198,12 +204,11 @@ fn bench_noc(c: &mut Criterion) {
                 Cycle::new(i),
             ))
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_trace_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_codec");
+fn bench_trace_codec() {
+    timing::group("trace_codec");
     let events: Vec<spcp_trace::TraceEvent> = (0..1000)
         .map(|i| spcp_trace::TraceEvent::Miss {
             core: CoreId::new(i % 16),
@@ -213,23 +218,20 @@ fn bench_trace_codec(c: &mut Criterion) {
             targets: CoreSet::from_bits((i as u64) % 65536),
         })
         .collect();
-    g.bench_function("write_1k_events", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(32 * 1024);
-            spcp_trace::write_trace(&mut buf, &events).expect("in-memory write");
-            black_box(buf)
-        })
+    timing::bench("write_1k_events", || {
+        let mut buf = Vec::with_capacity(32 * 1024);
+        spcp_trace::write_trace(&mut buf, &events).expect("in-memory write");
+        black_box(buf)
     });
     let mut encoded = Vec::new();
     spcp_trace::write_trace(&mut encoded, &events).unwrap();
-    g.bench_function("read_1k_events", |b| {
-        b.iter(|| black_box(spcp_trace::read_trace(encoded.as_slice()).expect("parse")))
+    timing::bench("read_1k_events", || {
+        black_box(spcp_trace::read_trace(encoded.as_slice()).expect("parse"))
     });
-    g.finish();
 }
 
-fn bench_workload_tools(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_tools");
+fn bench_workload_tools() {
+    timing::group("workload_tools");
     const SPEC: &str = "benchmark bench
 phase 4
   epoch 1 stable 2
@@ -239,42 +241,36 @@ phase 4
     cs 0 2 1 4
 end
 ";
-    g.bench_function("textspec_parse", |b| {
-        b.iter(|| black_box(spcp_workloads::textspec::parse_spec(SPEC).expect("valid")))
+    timing::bench("textspec_parse", || {
+        black_box(spcp_workloads::textspec::parse_spec(SPEC).expect("valid"))
     });
-    g.finish();
 }
 
-fn bench_flit_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flit_network");
-    g.bench_function("step_under_load", |b| {
-        let mut net = spcp_noc::flit::FlitNetwork::new(&spcp_noc::NocConfig::default());
-        let mut delivered = Vec::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let src = (i % 16) as usize;
-            let dst = ((i * 7) % 16) as usize;
-            if src != dst {
-                net.inject(CoreId::new(src), CoreId::new(dst), 2, i);
-            }
-            net.step(&mut delivered);
-            delivered.clear();
-        })
+fn bench_flit_network() {
+    timing::group("flit_network");
+    let mut net = spcp_noc::flit::FlitNetwork::new(&spcp_noc::NocConfig::default());
+    let mut delivered = Vec::new();
+    let mut i = 0u64;
+    timing::bench("step_under_load", || {
+        i += 1;
+        let src = (i % 16) as usize;
+        let dst = ((i * 7) % 16) as usize;
+        if src != dst {
+            net.inject(CoreId::new(src), CoreId::new(dst), 2, i);
+        }
+        net.step(&mut delivered);
+        delivered.clear();
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sp_predictor,
-    bench_sp_table,
-    bench_comm_counters,
-    bench_comparison_predictors,
-    bench_cache,
-    bench_noc,
-    bench_trace_codec,
-    bench_workload_tools,
-    bench_flit_network
-);
-criterion_main!(benches);
+fn main() {
+    bench_sp_predictor();
+    bench_sp_table();
+    bench_comm_counters();
+    bench_comparison_predictors();
+    bench_cache();
+    bench_noc();
+    bench_trace_codec();
+    bench_workload_tools();
+    bench_flit_network();
+}

@@ -1,17 +1,23 @@
-//! Criterion end-to-end benchmarks: whole-machine simulation throughput
-//! per protocol, plus the ablation sweeps of DESIGN.md §5 measured as
-//! accuracy-vs-time trade-offs.
+//! End-to-end benchmarks: whole-machine simulation throughput per protocol,
+//! plus the ablation sweeps of DESIGN.md §5 measured as accuracy-vs-time
+//! trade-offs.
+//!
+//! Uses the dependency-free `spcp_bench::timing` runner so the workspace
+//! builds offline. Run with `cargo bench -p spcp-bench --bench simulation`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spcp_bench::timing;
 use spcp_core::SpConfig;
 use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
 use spcp_workloads::suite;
 
-fn bench_protocols(c: &mut Criterion) {
+const SAMPLES: u32 = 5;
+
+fn bench_protocols() {
     let workload = suite::x264().generate(16, 7);
     let machine = MachineConfig::paper_16core();
-    let mut g = c.benchmark_group("full_run_x264");
-    g.sample_size(10);
+    timing::group("full_run_x264");
     for (label, proto) in [
         ("directory", ProtocolKind::Directory),
         ("broadcast", ProtocolKind::Broadcast),
@@ -24,57 +30,73 @@ fn bench_protocols(c: &mut Criterion) {
             }),
         ),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                black_box(CmpSystem::run_workload(
-                    &workload,
-                    &RunConfig::new(machine.clone(), proto.clone()),
-                ))
-            })
+        timing::bench_samples(label, SAMPLES, || {
+            black_box(CmpSystem::run_workload(
+                &workload,
+                &RunConfig::new(machine.clone(), proto.clone()),
+            ))
         });
     }
-    g.finish();
 }
 
-fn bench_sp_ablations(c: &mut Criterion) {
+fn bench_sp_ablations() {
     let workload = suite::ferret().generate(16, 7);
     let machine = MachineConfig::paper_16core();
-    let mut g = c.benchmark_group("ablation_ferret");
-    g.sample_size(10);
+    timing::group("ablation_ferret");
     let configs = [
         ("default", SpConfig::default()),
-        ("d1", SpConfig { history_depth: 1, ..SpConfig::default() }),
-        ("no_stride2", SpConfig { stride2_detection: false, ..SpConfig::default() }),
-        ("th20", SpConfig { hot_threshold: 0.20, ..SpConfig::default() }),
-        ("capped_hot4", SpConfig { max_hot_set: Some(4), ..SpConfig::default() }),
+        (
+            "d1",
+            SpConfig {
+                history_depth: 1,
+                ..SpConfig::default()
+            },
+        ),
+        (
+            "no_stride2",
+            SpConfig {
+                stride2_detection: false,
+                ..SpConfig::default()
+            },
+        ),
+        (
+            "th20",
+            SpConfig {
+                hot_threshold: 0.20,
+                ..SpConfig::default()
+            },
+        ),
+        (
+            "capped_hot4",
+            SpConfig {
+                max_hot_set: Some(4),
+                ..SpConfig::default()
+            },
+        ),
     ];
     for (label, cfg) in configs {
-        g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                black_box(CmpSystem::run_workload(
-                    &workload,
-                    &RunConfig::new(
-                        machine.clone(),
-                        ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
-                    ),
-                ))
-            })
+        timing::bench_samples(label, SAMPLES, || {
+            black_box(CmpSystem::run_workload(
+                &workload,
+                &RunConfig::new(
+                    machine.clone(),
+                    ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
+                ),
+            ))
         });
     }
-    g.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_generation");
-    g.sample_size(20);
+fn bench_workload_generation() {
+    timing::group("workload_generation");
     for name in ["x264", "radiosity"] {
         let spec = suite::by_name(name).expect("known");
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(spec.generate(16, 7)))
-        });
+        timing::bench_samples(name, SAMPLES * 4, || black_box(spec.generate(16, 7)));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_sp_ablations, bench_workload_generation);
-criterion_main!(benches);
+fn main() {
+    bench_protocols();
+    bench_sp_ablations();
+    bench_workload_generation();
+}

@@ -2,8 +2,8 @@
 //! §5.4 footnote) for the comparison predictors, plus SP's hot-set size
 //! bound as its equivalent knob.
 
-use spcp_bench::{header, mean, CORES, SEED};
 use spcp_baselines::SetPolicy;
+use spcp_bench::{header, mean, CORES, SEED};
 use spcp_core::SpConfig;
 use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
 use spcp_workloads::suite;
@@ -23,8 +23,7 @@ fn sweep(label: &str, kind: PredictorKind, policy: SetPolicy) {
         );
         let s = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine, ProtocolKind::Predicted(kind.clone()))
-                .with_set_policy(policy),
+            &RunConfig::new(machine, ProtocolKind::Predicted(kind.clone())).with_set_policy(policy),
         );
         accs.push(s.accuracy() * 100.0);
         bws.push((s.bandwidth() as f64 - dir.bandwidth() as f64) / dir.bandwidth() as f64 * 100.0);

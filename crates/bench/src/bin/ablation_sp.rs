@@ -43,7 +43,10 @@ fn main() {
     for th in [0.05, 0.10, 0.20] {
         sweep(
             &format!("  threshold = {th:.2}"),
-            SpConfig { hot_threshold: th, ..SpConfig::default() },
+            SpConfig {
+                hot_threshold: th,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -51,7 +54,10 @@ fn main() {
     for cap in [None, Some(4), Some(2), Some(1)] {
         sweep(
             &format!("  max hot set = {cap:?}"),
-            SpConfig { max_hot_set: cap, ..SpConfig::default() },
+            SpConfig {
+                max_hot_set: cap,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -59,7 +65,10 @@ fn main() {
     for d in [1usize, 2, 4] {
         sweep(
             &format!("  d = {d}"),
-            SpConfig { history_depth: d, ..SpConfig::default() },
+            SpConfig {
+                history_depth: d,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -67,7 +76,10 @@ fn main() {
     for on in [true, false] {
         sweep(
             &format!("  stride2 = {on}"),
-            SpConfig { stride2_detection: on, ..SpConfig::default() },
+            SpConfig {
+                stride2_detection: on,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -75,7 +87,10 @@ fn main() {
     for bits in [2, 4, 6] {
         sweep(
             &format!("  confidence bits = {bits}"),
-            SpConfig { confidence_bits: bits, ..SpConfig::default() },
+            SpConfig {
+                confidence_bits: bits,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -83,7 +98,10 @@ fn main() {
     for w in [10, 30, 100] {
         sweep(
             &format!("  warmup = {w}"),
-            SpConfig { warmup_misses: w, ..SpConfig::default() },
+            SpConfig {
+                warmup_misses: w,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -96,7 +114,10 @@ fn main() {
     ] {
         sweep(
             &format!("  {label}"),
-            SpConfig { table_sets_ways: geom, ..SpConfig::default() },
+            SpConfig {
+                table_sets_ways: geom,
+                ..SpConfig::default()
+            },
         );
     }
 
@@ -104,7 +125,10 @@ fn main() {
     for on in [false, true] {
         sweep(
             &format!("  lock_union_preceding = {on}"),
-            SpConfig { lock_union_preceding: on, ..SpConfig::default() },
+            SpConfig {
+                lock_union_preceding: on,
+                ..SpConfig::default()
+            },
         );
     }
 }

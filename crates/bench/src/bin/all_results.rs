@@ -1,8 +1,13 @@
 //! Batch runner: every benchmark × every protocol, emitted as CSV for
 //! downstream plotting (`cargo run -p spcp-bench --release --bin
 //! all_results > results.csv`).
+//!
+//! The full matrix fans out across a `spcp-harness` worker pool; pass
+//! `--jobs N` to bound it. Row order is the canonical matrix order
+//! (benchmark-major, protocols inner) regardless of worker scheduling.
 
-use spcp_bench::{run, CORES, SEED};
+use spcp_bench::{jobs_arg, CORES, SEED};
+use spcp_harness::{RunMatrix, SweepEngine};
 use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
@@ -18,7 +23,10 @@ fn protocols() -> Vec<(&'static str, ProtocolKind)> {
                 macroblock_bytes: 256,
             }),
         ),
-        ("inst", ProtocolKind::Predicted(PredictorKind::Inst { entries: None })),
+        (
+            "inst",
+            ProtocolKind::Predicted(PredictorKind::Inst { entries: None }),
+        ),
         ("uni", ProtocolKind::Predicted(PredictorKind::Uni)),
         (
             "multicast",
@@ -28,38 +36,43 @@ fn protocols() -> Vec<(&'static str, ProtocolKind)> {
 }
 
 fn main() {
+    let mut matrix = RunMatrix::new().benches(suite::all());
+    for (label, proto) in protocols() {
+        matrix = matrix.protocol(label, proto);
+    }
+    let result = SweepEngine::new(jobs_arg()).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
+
     println!(
         "benchmark,protocol,seed,cores,exec_cycles,l2_misses,comm_misses,noncomm_misses,\
          miss_latency_mean,comm_miss_latency_mean,byte_hops,ctrl_byte_hops,energy,\
          snoop_probes,predictions,pred_sufficient_comm,indirections,accuracy,\
          mean_predicted_set,predictor_storage_bits"
     );
-    for spec in suite::all() {
-        for (label, proto) in protocols() {
-            let s = run(&spec, proto, false);
-            println!(
-                "{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{:.3},{},{},{},{},{:.6},{:.3},{}",
-                s.benchmark,
-                label,
-                SEED,
-                CORES,
-                s.exec_cycles,
-                s.l2_misses,
-                s.comm_misses,
-                s.noncomm_misses,
-                s.miss_latency.mean(),
-                s.comm_miss_latency.mean(),
-                s.noc.byte_hops,
-                s.noc.ctrl_byte_hops,
-                s.energy(),
-                s.snoop_probes,
-                s.predictions,
-                s.pred_sufficient_comm,
-                s.indirections,
-                s.accuracy(),
-                s.mean_predicted_set(),
-                s.predictor_storage_bits,
-            );
-        }
+    for r in &result.runs {
+        let s = &r.stats;
+        println!(
+            "{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{:.3},{},{},{},{},{:.6},{:.3},{}",
+            s.benchmark,
+            r.spec.protocol_label,
+            SEED,
+            CORES,
+            s.exec_cycles,
+            s.l2_misses,
+            s.comm_misses,
+            s.noncomm_misses,
+            s.miss_latency.mean(),
+            s.comm_miss_latency.mean(),
+            s.noc.byte_hops,
+            s.noc.ctrl_byte_hops,
+            s.energy(),
+            s.snoop_probes,
+            s.predictions,
+            s.pred_sufficient_comm,
+            s.indirections,
+            s.accuracy(),
+            s.mean_predicted_set(),
+            s.predictor_storage_bits,
+        );
     }
 }

@@ -55,14 +55,23 @@ fn main() {
     let spec = oltp();
     let w = spec.generate(CORES, SEED);
     let machine = MachineConfig::paper_16core();
-    let dir = CmpSystem::run_workload(&w, &RunConfig::new(machine.clone(), ProtocolKind::Directory));
+    let dir = CmpSystem::run_workload(
+        &w,
+        &RunConfig::new(machine.clone(), ProtocolKind::Directory),
+    );
     let sp = CmpSystem::run_workload(
         &w,
-        &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+        &RunConfig::new(
+            machine,
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        ),
     );
     let s = sp.sp.expect("SP stats");
     let comm = sp.comm_misses.max(1) as f64;
-    println!("communicating misses:        {:.1}%", dir.comm_ratio() * 100.0);
+    println!(
+        "communicating misses:        {:.1}%",
+        dir.comm_ratio() * 100.0
+    );
     println!("overall SP accuracy:         {:.1}%", sp.accuracy() * 100.0);
     println!(
         "  via lock-holder history:   {:.1}% of communicating misses",

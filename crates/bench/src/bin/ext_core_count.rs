@@ -2,22 +2,31 @@
 //! cores; this harness sweeps 4–64 cores (2×2 to 8×8 meshes) to show that
 //! SP-prediction's premise — small hot sets bounded by the algorithm, not
 //! the machine — scales, while broadcast bandwidth grows with N.
+//!
+//! All four machine sizes run as one `spcp-harness` matrix; pass
+//! `--jobs N` to bound the worker pool.
 
-use spcp_bench::{header, mean, SEED};
+use spcp_bench::{header, jobs_arg, mean, SEED};
+use spcp_harness::{RunMatrix, SweepEngine};
 use spcp_noc::NocConfig;
-use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_system::{MachineConfig, PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
+
+const MESHES: [(usize, usize, usize); 4] = [(4, 2, 2), (16, 4, 4), (36, 6, 6), (64, 8, 8)];
+// Three representative benchmarks across pattern classes.
+const BENCHES: [&str; 3] = ["x264", "ocean", "fluidanimate"];
 
 fn main() {
     header(
         "Extension: core-count scaling",
         "SP accuracy, predicted-set size and broadcast cost vs machine size",
     );
-    println!(
-        "{:<7} {:>10} {:>11} {:>12} {:>16}",
-        "cores", "comm ratio", "SP accuracy", "pred targets", "broadcast bw/SP"
-    );
-    for (n, w, h) in [(4usize, 2usize, 2usize), (16, 4, 4), (36, 6, 6), (64, 8, 8)] {
+    let mut matrix = RunMatrix::new()
+        .benches(BENCHES.iter().map(|n| suite::by_name(n).expect("known")))
+        .protocol("dir", ProtocolKind::Directory)
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .protocol("bc", ProtocolKind::Broadcast);
+    for (n, w, h) in MESHES {
         let mut machine = MachineConfig::paper_16core();
         machine.num_cores = n;
         machine.noc = NocConfig {
@@ -25,29 +34,34 @@ fn main() {
             height: h,
             ..NocConfig::default()
         };
+        matrix = matrix.machine(format!("{n}c"), machine);
+    }
+    let result = SweepEngine::new(jobs_arg()).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
+
+    println!(
+        "{:<7} {:>10} {:>11} {:>12} {:>16}",
+        "cores", "comm ratio", "SP accuracy", "pred targets", "broadcast bw/SP"
+    );
+    for (n, _, _) in MESHES {
+        let label = format!("{n}c");
         let mut ratios = Vec::new();
         let mut accs = Vec::new();
         let mut psizes = Vec::new();
         let mut bc_over_sp = Vec::new();
-        // Three representative benchmarks across pattern classes.
-        for name in ["x264", "ocean", "fluidanimate"] {
-            let spec = suite::by_name(name).expect("known");
-            let workload = spec.generate(n, SEED);
-            let dir = CmpSystem::run_workload(
-                &workload,
-                &RunConfig::new(machine.clone(), ProtocolKind::Directory),
-            );
-            let sp = CmpSystem::run_workload(
-                &workload,
-                &RunConfig::new(
-                    machine.clone(),
-                    ProtocolKind::Predicted(PredictorKind::sp_default()),
-                ),
-            );
-            let bc = CmpSystem::run_workload(
-                &workload,
-                &RunConfig::new(machine.clone(), ProtocolKind::Broadcast),
-            );
+        for name in BENCHES {
+            let dir = &result
+                .get_on(name, "dir", SEED, &label)
+                .expect("dir run")
+                .stats;
+            let sp = &result
+                .get_on(name, "sp", SEED, &label)
+                .expect("sp run")
+                .stats;
+            let bc = &result
+                .get_on(name, "bc", SEED, &label)
+                .expect("bc run")
+                .stats;
             ratios.push(dir.comm_ratio());
             accs.push(sp.accuracy());
             psizes.push(sp.mean_predicted_set());

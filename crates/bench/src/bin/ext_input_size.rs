@@ -4,10 +4,18 @@
 //! trends"; this harness regenerates the input-size half: larger inputs
 //! mean more dynamic instances per epoch, so history-based prediction
 //! amortizes its warm-up and accuracy rises toward the ideal.
+//!
+//! Each scale factor is one `spcp-harness` matrix (scaled specs keep
+//! their benchmark name, so factors cannot share one); pass `--jobs N`
+//! to bound the worker pool.
 
-use spcp_bench::{header, mean, CORES, SEED};
-use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_bench::{header, jobs_arg, mean, SEED};
+use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
+
+// Benchmarks with modest repetition, where more instances help.
+const BENCHES: [&str; 3] = ["bodytrack", "vips", "cholesky"];
 
 fn main() {
     header(
@@ -18,27 +26,26 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14}",
         "scale", "dyn ep/core", "SP accuracy", "SP lat gain"
     );
+    let engine = SweepEngine::new(jobs_arg());
     for factor in [1u32, 2, 4] {
+        let specs: Vec<_> = BENCHES
+            .iter()
+            .map(|n| suite::scaled(suite::by_name(n).expect("known"), factor))
+            .collect();
+        let dyns: Vec<f64> = specs
+            .iter()
+            .map(|s| s.dynamic_epochs_per_core() as f64)
+            .collect();
+        let matrix = RunMatrix::new()
+            .benches(specs)
+            .protocol("dir", ProtocolKind::Directory)
+            .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()));
+        let result = engine.run(&matrix);
         let mut accs = Vec::new();
         let mut gains = Vec::new();
-        let mut dyns = Vec::new();
-        for name in ["bodytrack", "vips", "cholesky"] {
-            // Benchmarks with modest repetition, where more instances help.
-            let spec = suite::scaled(suite::by_name(name).expect("known"), factor);
-            dyns.push(spec.dynamic_epochs_per_core() as f64);
-            let w = spec.generate(CORES, SEED);
-            let machine = MachineConfig::paper_16core();
-            let dir = CmpSystem::run_workload(
-                &w,
-                &RunConfig::new(machine.clone(), ProtocolKind::Directory),
-            );
-            let sp = CmpSystem::run_workload(
-                &w,
-                &RunConfig::new(
-                    machine,
-                    ProtocolKind::Predicted(PredictorKind::sp_default()),
-                ),
-            );
+        for name in BENCHES {
+            let dir = &result.get(name, "dir", SEED).expect("dir run").stats;
+            let sp = &result.get(name, "sp", SEED).expect("sp run").stats;
             accs.push(sp.accuracy());
             gains.push(1.0 - sp.miss_latency.mean() / dir.miss_latency.mean());
         }

@@ -5,9 +5,7 @@
 //! SP-tables with them.
 
 use spcp_bench::{header, mean, CORES, SEED};
-use spcp_system::{
-    CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig,
-};
+use spcp_system::{CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig};
 use spcp_workloads::suite;
 
 fn main() {
@@ -71,6 +69,10 @@ fn main() {
         c * 100.0,
         w * 100.0,
         i * 100.0,
-        if i > c { (w - c) / (i - c) * 100.0 } else { 0.0 },
+        if i > c {
+            (w - c) / (i - c) * 100.0
+        } else {
+            0.0
+        },
     );
 }

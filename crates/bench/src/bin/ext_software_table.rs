@@ -33,7 +33,10 @@ fn main() {
             machine.sync_trap_cost = trap;
             let s = CmpSystem::run_workload(
                 &w,
-                &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+                &RunConfig::new(
+                    machine,
+                    ProtocolKind::Predicted(PredictorKind::sp_default()),
+                ),
             );
             row.push_str(&format!(
                 " {:>11.1}%",

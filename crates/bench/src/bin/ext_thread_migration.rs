@@ -28,8 +28,7 @@ fn main() {
             ProtocolKind::Predicted(PredictorKind::sp_default()),
         );
         let pinned = CmpSystem::run_workload(&w, &base);
-        let physical =
-            CmpSystem::run_workload(&w, &base.clone().with_migration(10, 1, false));
+        let physical = CmpSystem::run_workload(&w, &base.clone().with_migration(10, 1, false));
         let logical = CmpSystem::run_workload(&w, &base.clone().with_migration(10, 1, true));
         pinned_a.push(pinned.accuracy());
         phys_a.push(physical.accuracy());
@@ -53,7 +52,11 @@ fn main() {
         {
             let lost = mean(pinned_a.clone()) - mean(phys_a.clone());
             let regained = mean(log_a) - mean(phys_a);
-            if lost > 0.0 { regained / lost * 100.0 } else { 100.0 }
+            if lost > 0.0 {
+                regained / lost * 100.0
+            } else {
+                100.0
+            }
         },
     );
 }

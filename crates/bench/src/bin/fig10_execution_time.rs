@@ -1,36 +1,45 @@
 //! Figure 10: execution time of directory, broadcast and SP-prediction,
 //! normalized to the directory protocol.
+//!
+//! Runs the whole three-protocol matrix through the `spcp-harness` sweep
+//! engine; pass `--jobs N` to bound the worker count.
 
-use spcp_bench::{header, mean, run_suite};
-use spcp_system::{PredictorKind, ProtocolKind};
+use spcp_bench::{header, mean, sweep_dir_bc_sp};
 
 fn main() {
     header("Figure 10", "Execution time (normalized to base directory)");
-    let dir = run_suite(ProtocolKind::Directory, false);
-    let bc = run_suite(ProtocolKind::Broadcast, false);
-    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    let result = sweep_dir_bc_sp(false);
+    let dir = result.by_protocol("dir");
+    let bc = result.by_protocol("bc");
+    let sp = result.by_protocol("sp");
     println!(
         "{:<14} {:>10} {:>10} {:>10}",
         "benchmark", "directory", "broadcast", "SP"
     );
     let mut bc_n = Vec::new();
     let mut sp_n = Vec::new();
-    let mut best = ("", 1.0f64);
+    let mut best = (String::new(), 1.0f64);
     for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
-        let base = d.exec_cycles as f64;
-        let nb = b.exec_cycles as f64 / base;
-        let ns = s.exec_cycles as f64 / base;
+        let base = d.stats.exec_cycles as f64;
+        let nb = b.stats.exec_cycles as f64 / base;
+        let ns = s.stats.exec_cycles as f64 / base;
         bc_n.push(nb);
         sp_n.push(ns);
         if ns < best.1 {
-            best = (&d.benchmark, ns);
+            best = (d.stats.benchmark.clone(), ns);
         }
-        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", d.benchmark, 1.0, nb, ns);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+            d.stats.benchmark, 1.0, nb, ns
+        );
     }
     println!("----------------------------------------------------------------");
     println!(
         "{:<14} {:>10.3} {:>10.3} {:>10.3}",
-        "average", 1.0, mean(bc_n), mean(sp_n.clone())
+        "average",
+        1.0,
+        mean(bc_n),
+        mean(sp_n.clone())
     );
     println!(
         "SP improves execution time by {:.1}% on average (paper: 7%);\n\

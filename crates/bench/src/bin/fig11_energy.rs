@@ -1,14 +1,20 @@
 //! Figure 11: dynamic energy consumed on the NoC and L2 snoop lookups,
 //! normalized to the directory protocol.
+//!
+//! Runs the whole three-protocol matrix through the `spcp-harness` sweep
+//! engine; pass `--jobs N` to bound the worker count.
 
-use spcp_bench::{header, mean, run_suite};
-use spcp_system::{PredictorKind, ProtocolKind};
+use spcp_bench::{header, mean, sweep_dir_bc_sp};
 
 fn main() {
-    header("Figure 11", "Energy on NoC + cache snoops (normalized to base directory)");
-    let dir = run_suite(ProtocolKind::Directory, false);
-    let bc = run_suite(ProtocolKind::Broadcast, false);
-    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    header(
+        "Figure 11",
+        "Energy on NoC + cache snoops (normalized to base directory)",
+    );
+    let result = sweep_dir_bc_sp(false);
+    let dir = result.by_protocol("dir");
+    let bc = result.by_protocol("bc");
+    let sp = result.by_protocol("sp");
     println!(
         "{:<14} {:>10} {:>10} {:>10}",
         "benchmark", "directory", "broadcast", "SP"
@@ -16,17 +22,23 @@ fn main() {
     let mut bc_n = Vec::new();
     let mut sp_n = Vec::new();
     for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
-        let base = d.energy();
-        let nb = b.energy() / base;
-        let ns = s.energy() / base;
+        let base = d.stats.energy();
+        let nb = b.stats.energy() / base;
+        let ns = s.stats.energy() / base;
         bc_n.push(nb);
         sp_n.push(ns);
-        println!("{:<14} {:>10.2} {:>10.2} {:>10.2}", d.benchmark, 1.0, nb, ns);
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.2}",
+            d.stats.benchmark, 1.0, nb, ns
+        );
     }
     println!("----------------------------------------------------------------");
     println!(
         "{:<14} {:>10.2} {:>10.2} {:>10.2}",
-        "average", 1.0, mean(bc_n.clone()), mean(sp_n.clone())
+        "average",
+        1.0,
+        mean(bc_n.clone()),
+        mean(sp_n.clone())
     );
     println!(
         "SP adds {:.0}% energy (paper: +25%), broadcast {:.1}x (paper: 2.4x)",

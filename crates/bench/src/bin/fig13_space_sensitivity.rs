@@ -30,13 +30,14 @@ fn schemes(entries: Option<usize>) -> Vec<(&'static str, PredictorKind)> {
 }
 
 fn averages(all: &[RunStats], base: &[RunStats]) -> (f64, f64, f64) {
-    let bw = mean(
-        all.iter()
-            .zip(base)
-            .map(|(s, d)| (s.bandwidth() as f64 - d.bandwidth() as f64) / d.bandwidth() as f64 * 100.0),
-    );
+    let bw = mean(all.iter().zip(base).map(|(s, d)| {
+        (s.bandwidth() as f64 - d.bandwidth() as f64) / d.bandwidth() as f64 * 100.0
+    }));
     let ind = mean(all.iter().map(|s| s.indirection_ratio() * 100.0));
-    let kb = mean(all.iter().map(|s| s.predictor_storage_bits as f64 / 8.0 / 1024.0));
+    let kb = mean(
+        all.iter()
+            .map(|s| s.predictor_storage_bits as f64 / 8.0 / 1024.0),
+    );
     (bw, ind, kb)
 }
 

@@ -22,7 +22,10 @@ fn main() {
         &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory).tracing(),
     );
 
-    println!("{:<28} {:>10}   epoch it begins", "sync-point (kind, static)", "dyn inst");
+    println!(
+        "{:<28} {:>10}   epoch it begins",
+        "sync-point (kind, static)", "dyn inst"
+    );
     let mut shown = 0;
     let mut misses_since = 0u64;
     for e in &stats.trace {
@@ -35,7 +38,10 @@ fn main() {
                 instance,
             } if core.index() == 0 => {
                 if shown > 0 {
-                    println!("{:<28} {:>10}   | epoch body: {misses_since} misses", "", "");
+                    println!(
+                        "{:<28} {:>10}   | epoch body: {misses_since} misses",
+                        "", ""
+                    );
                 }
                 println!(
                     "{:<28} {:>10}   +-- sync-epoch ({kind}@{static_id}, {instance}) begins",

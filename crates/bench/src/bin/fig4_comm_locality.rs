@@ -28,9 +28,7 @@ fn avg_coverage(dists: &[Vec<u64>], k: usize) -> f64 {
 /// entity (epoch instance / core / static pc).
 type Distributions = Vec<Vec<u64>>;
 
-fn granularity_distributions(
-    stats: &RunStats,
-) -> (Distributions, Distributions, Distributions) {
+fn granularity_distributions(stats: &RunStats) -> (Distributions, Distributions, Distributions) {
     // Sync-epoch granularity: one distribution per (core, epoch instance).
     let epoch: Vec<Vec<u64>> = stats
         .epoch_records

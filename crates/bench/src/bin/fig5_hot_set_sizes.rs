@@ -37,7 +37,14 @@ fn main() {
         }
         print!("{:<14}", s.benchmark);
         for b in buckets {
-            print!(" {:>6.1}%", if n > 0 { b as f64 / n as f64 * 100.0 } else { 0.0 });
+            print!(
+                " {:>6.1}%",
+                if n > 0 {
+                    b as f64 / n as f64 * 100.0
+                } else {
+                    0.0
+                }
+            );
         }
         println!();
     }
@@ -45,6 +52,10 @@ fn main() {
     let le4: u64 = totals[..4].iter().sum();
     println!(
         "overall: {:.1}% of intervals have a hot set of size <= 4 (paper: >78%)",
-        if grand > 0 { le4 as f64 / grand as f64 * 100.0 } else { 0.0 }
+        if grand > 0 {
+            le4 as f64 / grand as f64 * 100.0
+        } else {
+            0.0
+        }
     );
 }

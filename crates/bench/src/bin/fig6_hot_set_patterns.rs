@@ -35,7 +35,10 @@ fn show(panel: &str, spec: &BenchmarkSpec, instances: usize) {
 fn show_filtered(panel: &str, spec: &BenchmarkSpec, instances: usize, cs_only: bool) {
     let stats = run(spec);
     println!("\n({panel})");
-    println!("{:<10} 0123456789012345   (core 0's hot set per instance)", "instance");
+    println!(
+        "{:<10} 0123456789012345   (core 0's hot set per instance)",
+        "instance"
+    );
     let records = &stats.epoch_records[0];
     for r in records
         .iter()
@@ -51,26 +54,46 @@ fn show_filtered(panel: &str, spec: &BenchmarkSpec, instances: usize, cs_only: b
     {
         let hot = r.hot_set(0.10);
         let bits: String = (0..16)
-            .map(|i| if hot.contains(spcp_sim::CoreId::new(i)) { 'X' } else { '.' })
+            .map(|i| {
+                if hot.contains(spcp_sim::CoreId::new(i)) {
+                    'X'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("{:<10} {}", r.instance, bits);
     }
 }
 
 fn main() {
-    header("Figure 6", "Hot communication set patterns across dynamic instances");
+    header(
+        "Figure 6",
+        "Hot communication set patterns across dynamic instances",
+    );
 
     show(
         "a: stable pattern",
-        &mini("stable", EpochSpec::new(1, SharingPattern::Stable { offset: 5 }).traffic(32, 32), 5),
+        &mini(
+            "stable",
+            EpochSpec::new(1, SharingPattern::Stable { offset: 5 }).traffic(32, 32),
+            5,
+        ),
         5,
     );
     show(
         "b: change between stable patterns",
         &mini(
             "switch",
-            EpochSpec::new(1, SharingPattern::StableSwitch { first: 2, second: 9, switch_at: 3 })
-                .traffic(32, 32),
+            EpochSpec::new(
+                1,
+                SharingPattern::StableSwitch {
+                    first: 2,
+                    second: 9,
+                    switch_at: 3,
+                },
+            )
+            .traffic(32, 32),
             6,
         ),
         6,
@@ -79,7 +102,14 @@ fn main() {
         "c: repetitive pattern (stride 3)",
         &mini(
             "stride3",
-            EpochSpec::new(1, SharingPattern::Repetitive { stride: 3, period: 3 }).traffic(32, 32),
+            EpochSpec::new(
+                1,
+                SharingPattern::Repetitive {
+                    stride: 3,
+                    period: 3,
+                },
+            )
+            .traffic(32, 32),
             9,
         ),
         9,
@@ -91,7 +121,12 @@ fn main() {
             EpochSpec::new(1, SharingPattern::PrivateOnly)
                 .traffic(0, 0)
                 .private(2)
-                .critical_sections(CsSpec { lock_base: 0, num_locks: 1, sections: 1, accesses: 12 }),
+                .critical_sections(CsSpec {
+                    lock_base: 0,
+                    num_locks: 1,
+                    sections: 1,
+                    accesses: 12,
+                }),
             8,
         ),
         8,

@@ -4,9 +4,7 @@
 //! marker.
 
 use spcp_bench::{header, mean, run, CORES, SEED};
-use spcp_system::{
-    CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig,
-};
+use spcp_system::{CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig};
 use spcp_workloads::suite;
 
 fn main() {
@@ -22,7 +20,11 @@ fn main() {
     let mut ideals = Vec::new();
     for spec in suite::all() {
         // SP run.
-        let sp = run(&spec, ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+        let sp = run(
+            &spec,
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+            false,
+        );
         let comm = sp.comm_misses.max(1) as f64;
         let s = sp.sp.expect("SP run aggregates SpStats");
         let pct = |x: u64| x as f64 / comm * 100.0;
@@ -58,7 +60,10 @@ fn main() {
     println!("----------------------------------------------------------------");
     println!(
         "{:<14} {:>34} {:>6.1}% {:>6.1}%",
-        "average", "", mean(totals) * 100.0, mean(ideals) * 100.0
+        "average",
+        "",
+        mean(totals) * 100.0,
+        mean(ideals) * 100.0
     );
     println!("(paper: 77% average; best x264 ~98%, worst radiosity ~59%;");
     println!(" history-based stacks ~40%, recovery ~9% on average)");

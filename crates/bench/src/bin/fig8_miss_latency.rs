@@ -1,14 +1,20 @@
 //! Figure 8: average miss latency of directory, broadcast and
 //! SP-prediction, normalized to the directory protocol.
+//!
+//! Runs the whole three-protocol matrix through the `spcp-harness` sweep
+//! engine; pass `--jobs N` to bound the worker count.
 
-use spcp_bench::{header, mean, run_suite};
-use spcp_system::{PredictorKind, ProtocolKind};
+use spcp_bench::{header, mean, sweep_dir_bc_sp};
 
 fn main() {
-    header("Figure 8", "Average miss latency (normalized to base directory)");
-    let dir = run_suite(ProtocolKind::Directory, false);
-    let bc = run_suite(ProtocolKind::Broadcast, false);
-    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
+    header(
+        "Figure 8",
+        "Average miss latency (normalized to base directory)",
+    );
+    let result = sweep_dir_bc_sp(false);
+    let dir = result.by_protocol("dir");
+    let bc = result.by_protocol("bc");
+    let sp = result.by_protocol("sp");
     println!(
         "{:<14} {:>10} {:>10} {:>10}",
         "benchmark", "directory", "broadcast", "SP"
@@ -16,12 +22,15 @@ fn main() {
     let mut bc_n = Vec::new();
     let mut sp_n = Vec::new();
     for ((d, b), s) in dir.iter().zip(&bc).zip(&sp) {
-        let base = d.miss_latency.mean();
-        let nb = b.miss_latency.mean() / base;
-        let ns = s.miss_latency.mean() / base;
+        let base = d.stats.miss_latency.mean();
+        let nb = b.stats.miss_latency.mean() / base;
+        let ns = s.stats.miss_latency.mean() / base;
         bc_n.push(nb);
         sp_n.push(ns);
-        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", d.benchmark, 1.0, nb, ns);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+            d.stats.benchmark, 1.0, nb, ns
+        );
     }
     println!("----------------------------------------------------------------");
     println!(

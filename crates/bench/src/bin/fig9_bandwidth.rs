@@ -1,18 +1,21 @@
 //! Figure 9: additional bandwidth demands of SP-prediction relative to the
 //! base directory protocol, split by communicating vs non-communicating
 //! misses.
+//!
+//! Runs the whole three-protocol matrix through the `spcp-harness` sweep
+//! engine; pass `--jobs N` to bound the worker count.
 
-use spcp_bench::{header, mean, run_suite};
-use spcp_system::{PredictorKind, ProtocolKind};
+use spcp_bench::{header, mean, sweep_dir_bc_sp};
 
 fn main() {
     header(
         "Figure 9",
         "Additional NoC bandwidth of SP-prediction vs base directory (byte-hops)",
     );
-    let dir = run_suite(ProtocolKind::Directory, false);
-    let sp = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
-    let bc = run_suite(ProtocolKind::Broadcast, false);
+    let result = sweep_dir_bc_sp(false);
+    let dir = result.by_protocol("dir");
+    let sp = result.by_protocol("sp");
+    let bc = result.by_protocol("bc");
     println!(
         "{:<14} {:>8} {:>9} {:>9} {:>12}",
         "benchmark", "total", "comm", "non-comm", "(broadcast)"
@@ -21,26 +24,26 @@ fn main() {
     let mut noncomm_share = Vec::new();
     let mut vs_broadcast = Vec::new();
     for ((d, s), b) in dir.iter().zip(&sp).zip(&bc) {
-        let base = d.bandwidth() as f64;
-        let add = (s.bandwidth() as f64 - base) / base * 100.0;
-        let oc = s.pred_overhead_comm as f64 / base * 100.0;
-        let on = s.pred_overhead_noncomm as f64 / base * 100.0;
-        let bc_add = (b.bandwidth() as f64 - base) / base * 100.0;
+        let base = d.stats.bandwidth() as f64;
+        let add = (s.stats.bandwidth() as f64 - base) / base * 100.0;
+        let oc = s.stats.pred_overhead_comm as f64 / base * 100.0;
+        let on = s.stats.pred_overhead_noncomm as f64 / base * 100.0;
+        let bc_add = (b.stats.bandwidth() as f64 - base) / base * 100.0;
         totals.push(add);
         if oc + on > 0.0 {
             noncomm_share.push(on / (oc + on));
         }
         // The broadcast comparison is on *request* (control) traffic, which
         // is what snoop probes multiply; data responses flow either way.
-        let ctrl_base = d.noc.ctrl_byte_hops as f64;
-        let sp_ctrl_add = s.noc.ctrl_byte_hops as f64 - ctrl_base;
-        let bc_ctrl_add = b.noc.ctrl_byte_hops as f64 - ctrl_base;
+        let ctrl_base = d.stats.noc.ctrl_byte_hops as f64;
+        let sp_ctrl_add = s.stats.noc.ctrl_byte_hops as f64 - ctrl_base;
+        let bc_ctrl_add = b.stats.noc.ctrl_byte_hops as f64 - ctrl_base;
         if bc_ctrl_add > 0.0 {
             vs_broadcast.push((sp_ctrl_add / bc_ctrl_add).max(0.0));
         }
         println!(
             "{:<14} {:>7.1}% {:>8.1}% {:>8.1}% {:>11.1}%",
-            d.benchmark, add, oc, on, bc_add
+            d.stats.benchmark, add, oc, on, bc_add
         );
     }
     println!("----------------------------------------------------------------");

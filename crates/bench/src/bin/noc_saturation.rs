@@ -45,7 +45,10 @@ fn main() {
         "NoC saturation study",
         "Flit-level router model: offered load vs mean packet latency (2-flit packets)",
     );
-    println!("{:>14} {:>12} {:>12}", "load (pkt/n/c)", "packets", "latency");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "load (pkt/n/c)", "packets", "latency"
+    );
     let mut prev = 0.0;
     for &load in &[0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50] {
         let (lat, pkts) = run_load(load, 2, 20_000, 7);
@@ -64,7 +67,12 @@ fn main() {
         // Analytic: hops * (router 2 + link 1); flit model charges 1
         // cycle/hop + serialization, so compare normalized per-hop slopes.
         let t = fabric
-            .send(CoreId::new(src), CoreId::new(dst), MsgKind::Request, Cycle::ZERO)
+            .send(
+                CoreId::new(src),
+                CoreId::new(dst),
+                MsgKind::Request,
+                Cycle::ZERO,
+            )
             .as_u64();
         let mut net = FlitNetwork::new(&NocConfig::default());
         net.inject(CoreId::new(src), CoreId::new(dst), 1, 0);

@@ -8,15 +8,36 @@ fn main() {
     let m = MachineConfig::paper_16core();
     println!("Processor model        in-order (blocking misses)");
     println!("Cores                  {}", m.num_cores);
-    println!("L1 I/D cache           {} KB, {}-way, {} B lines, {}-cycle load-to-use",
-        m.l1.size_bytes >> 10, m.l1.assoc, m.l1.block_bytes, m.l1.tag_cycles + m.l1.data_cycles);
-    println!("L2 cache (private)     {} MB, {}-way, {} B lines, tag {} cyc, data {} cyc, LRU",
-        m.l2.size_bytes >> 20, m.l2.assoc, m.l2.block_bytes, m.l2.tag_cycles, m.l2.data_cycles);
-    println!("Coherence              distributed directory MESIF ({} cyc directory access)", m.dir_latency);
-    println!("NoC topology           {}x{} 2D mesh, X-Y routing", m.noc.width, m.noc.height);
-    println!("Router                 {}-stage pipeline, {}-cycle links, {} B flits, {} VCs",
-        m.noc.router_cycles, m.noc.link_cycles, m.noc.flit_bytes, m.noc.virtual_channels);
+    println!(
+        "L1 I/D cache           {} KB, {}-way, {} B lines, {}-cycle load-to-use",
+        m.l1.size_bytes >> 10,
+        m.l1.assoc,
+        m.l1.block_bytes,
+        m.l1.tag_cycles + m.l1.data_cycles
+    );
+    println!(
+        "L2 cache (private)     {} MB, {}-way, {} B lines, tag {} cyc, data {} cyc, LRU",
+        m.l2.size_bytes >> 20,
+        m.l2.assoc,
+        m.l2.block_bytes,
+        m.l2.tag_cycles,
+        m.l2.data_cycles
+    );
+    println!(
+        "Coherence              distributed directory MESIF ({} cyc directory access)",
+        m.dir_latency
+    );
+    println!(
+        "NoC topology           {}x{} 2D mesh, X-Y routing",
+        m.noc.width, m.noc.height
+    );
+    println!(
+        "Router                 {}-stage pipeline, {}-cycle links, {} B flits, {} VCs",
+        m.noc.router_cycles, m.noc.link_cycles, m.noc.flit_bytes, m.noc.virtual_channels
+    );
     println!("Main memory latency    {} cycles", m.mem_latency);
-    println!("Energy model           NoC: energy ∝ bytes, router = 4x link; snoop probe {} units",
-        m.snoop_probe_energy);
+    println!(
+        "Energy model           NoC: energy ∝ bytes, router = 4x link; snoop probe {} units",
+        m.snoop_probe_energy
+    );
 }

@@ -9,19 +9,23 @@ fn main() {
         "{:<14} {:>10} {:>12} {:>8}",
         "benchmark", "actual/req", "predicted/req", "ratio"
     );
-    let all = run_suite(
-        ProtocolKind::Predicted(PredictorKind::sp_default()),
-        false,
-    );
+    let all = run_suite(ProtocolKind::Predicted(PredictorKind::sp_default()), false);
     let mut ratios = Vec::new();
     for s in &all {
         let actual = s.mean_actual_set().max(1.0); // reads dominate: >= 1
         let predicted = s.mean_predicted_set();
-        let ratio = if actual > 0.0 { predicted / actual } else { 0.0 };
+        let ratio = if actual > 0.0 {
+            predicted / actual
+        } else {
+            0.0
+        };
         ratios.push(ratio);
         println!(
             "{:<14} {:>10.2} {:>12.2} {:>8.2}",
-            s.benchmark, s.mean_actual_set(), predicted, ratio
+            s.benchmark,
+            s.mean_actual_set(),
+            predicted,
+            ratio
         );
     }
     println!("----------------------------------------------------------------");

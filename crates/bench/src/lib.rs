@@ -39,6 +39,9 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
+use spcp_harness::{RunMatrix, SweepEngine, SweepResult};
 use spcp_system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig, RunStats};
 use spcp_workloads::{suite, BenchmarkSpec};
 
@@ -57,12 +60,71 @@ pub fn run(spec: &BenchmarkSpec, protocol: ProtocolKind, record: bool) -> RunSta
     CmpSystem::run_workload(&w, &cfg)
 }
 
-/// Runs the whole suite under one protocol.
+/// Parses `--jobs N` (or `--jobs=N`) from the process arguments; defaults
+/// to the machine's available parallelism.
+pub fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    jobs_from(&args)
+}
+
+/// [`jobs_arg`] over an explicit argument slice (testable).
+pub fn jobs_from(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            if let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()) {
+                return v.max(1);
+            }
+        } else if let Some(v) = a
+            .strip_prefix("--jobs=")
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return v.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sweeps the whole suite under the given labelled protocols, fanning the
+/// runs across `jobs` workers via `spcp-harness`.
+pub fn sweep_suite(protocols: &[(&str, ProtocolKind)], record: bool, jobs: usize) -> SweepResult {
+    let mut matrix = RunMatrix::new().benches(suite::all());
+    for (label, kind) in protocols {
+        matrix = matrix.protocol(*label, kind.clone());
+    }
+    if record {
+        matrix = matrix.recording();
+    }
+    SweepEngine::new(jobs).run(&matrix)
+}
+
+/// Runs the whole suite under one protocol (parallel across `jobs_arg()`
+/// workers; results stay in `suite::all()` order).
 pub fn run_suite(protocol: ProtocolKind, record: bool) -> Vec<RunStats> {
-    suite::all()
-        .iter()
-        .map(|s| run(s, protocol.clone(), record))
-        .collect()
+    let result = sweep_suite(&[("p", protocol)], record, jobs_arg());
+    result.runs.into_iter().map(|r| r.stats).collect()
+}
+
+/// The directory/broadcast/SP comparison sweep behind Figures 8–11, run as
+/// one matrix so all runs share a single worker pool. Prints the harness's
+/// timing line to stderr.
+pub fn sweep_dir_bc_sp(record: bool) -> SweepResult {
+    let result = sweep_suite(
+        &[
+            ("dir", ProtocolKind::Directory),
+            ("bc", ProtocolKind::Broadcast),
+            (
+                "sp",
+                ProtocolKind::Predicted(spcp_system::PredictorKind::sp_default()),
+            ),
+        ],
+        record,
+        jobs_arg(),
+    );
+    eprintln!("[harness] {}", result.timing_line());
+    result
 }
 
 /// Arithmetic mean of an iterator of f64.
@@ -114,5 +176,24 @@ mod tests {
         let s = run(&suite::x264(), ProtocolKind::Directory, false);
         assert_eq!(s.benchmark, "x264");
         assert!(s.l2_misses > 0);
+    }
+
+    #[test]
+    fn jobs_from_parses_both_forms() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from(&argv(&["prog", "--jobs", "3"])), 3);
+        assert_eq!(jobs_from(&argv(&["prog", "--jobs=5"])), 5);
+        assert_eq!(jobs_from(&argv(&["prog", "--jobs", "0"])), 1);
+        assert!(jobs_from(&argv(&["prog"])) >= 1);
+    }
+
+    #[test]
+    fn sweep_matches_serial_run() {
+        let spec = suite::x264();
+        let serial = run(&spec, ProtocolKind::Directory, false);
+        let sweep = sweep_suite(&[("dir", ProtocolKind::Directory)], false, 2);
+        let swept = sweep.get("x264", "dir", SEED).expect("present");
+        assert_eq!(serial.exec_cycles, swept.stats.exec_cycles);
+        assert_eq!(serial.noc.byte_hops, swept.stats.noc.byte_hops);
     }
 }

@@ -1,0 +1,70 @@
+//! Minimal wall-clock benchmark runner.
+//!
+//! A dependency-free replacement for the former criterion harness so the
+//! micro/end-to-end benches build fully offline. It auto-calibrates a batch
+//! size during a short warm-up, then measures batches until a time budget
+//! is spent and reports mean ns/iter. The output is for eyeballing relative
+//! costs, not rigorous statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Prints a group header, mirroring the old criterion group names.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+/// Micro-benchmark: auto-calibrated batching, ~200 ms measurement budget.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let warm_until = Instant::now() + Duration::from_millis(30);
+    let mut warm_iters: u64 = 0;
+    while Instant::now() < warm_until {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let batch = warm_iters.max(1);
+    let budget = Duration::from_millis(200);
+    let mut total = Duration::ZERO;
+    let mut count: u64 = 0;
+    while total < budget {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        total += t0.elapsed();
+        count += batch;
+    }
+    let ns = total.as_nanos() as f64 / count as f64;
+    println!("  {name:<36} {ns:>14.1} ns/iter   ({count} iters)");
+}
+
+/// Macro-benchmark: runs `samples` timed repetitions of an expensive body
+/// (a whole simulation) and reports the mean and fastest sample.
+pub fn bench_samples<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    assert!(samples > 0, "need at least one sample");
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed());
+    }
+    let mean_ms = times.iter().map(Duration::as_secs_f64).sum::<f64>() / samples as f64 * 1e3;
+    let best_ms = times
+        .iter()
+        .map(Duration::as_secs_f64)
+        .fold(f64::INFINITY, f64::min)
+        * 1e3;
+    println!("  {name:<36} {mean_ms:>10.2} ms/iter   (best {best_ms:.2} ms, {samples} samples)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_samples_runs_body_exactly_n_times() {
+        let mut calls = 0u32;
+        bench_samples("noop", 3, || calls += 1);
+        assert_eq!(calls, 3);
+    }
+}

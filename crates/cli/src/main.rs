@@ -11,6 +11,7 @@ mod args;
 mod report;
 
 use args::Args;
+use spcp_harness::{golden, RunMatrix, SweepEngine};
 use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
 use spcp_workloads::suite;
 
@@ -23,6 +24,10 @@ USAGE:
       (--spec-file <path> runs a text workload spec instead of --bench)
       protocols: directory broadcast sp addr inst uni multicast
   spcp compare --bench <name> [--seed <n>]      all protocols side by side
+      [--jobs <n>]
+  spcp sweep [--benches a,b,..] [--protocols p,q,..]
+      [--seeds 7,11,..] [--jobs <n>]            parallel run matrix
+      [--golden <file>] [--update-golden]       verify/write a golden snapshot
   spcp characterize --bench <name> [--core <n>] sync-epoch hot sets
   spcp trace --bench <name> --out <file>        collect a miss/sync trace
   spcp analyze --trace <file> [--cores <n>]     characterize a trace file
@@ -65,11 +70,12 @@ fn cmd_list() -> Result<(), String> {
 
 fn load_spec(args: &Args) -> Result<spcp_workloads::BenchmarkSpec, String> {
     if let Some(path) = args.opt("spec-file") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return spcp_workloads::textspec::parse_spec(&text).map_err(|e| e.to_string());
     }
-    let bench = args.opt("bench").ok_or("run requires --bench <name> or --spec-file <path>")?;
+    let bench = args
+        .opt("bench")
+        .ok_or("run requires --bench <name> or --spec-file <path>")?;
     suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))
 }
 
@@ -91,22 +97,43 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `--jobs <n>` with the machine's parallelism as the default.
+fn jobs_arg(args: &Args) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Ok(args.opt_parse("jobs", default)?.max(1))
+}
+
+const ALL_PROTOCOLS: [&str; 7] = [
+    "directory",
+    "broadcast",
+    "sp",
+    "addr",
+    "inst",
+    "uni",
+    "multicast",
+];
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let bench = args.opt("bench").ok_or("compare requires --bench <name>")?;
     let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
     let seed: u64 = args.opt_parse("seed", 7)?;
-    let workload = spec.generate(16, seed);
-    let machine = MachineConfig::paper_16core();
+    let mut matrix = RunMatrix::new().bench(spec).seeds(&[seed]);
+    for name in ALL_PROTOCOLS {
+        matrix = matrix.protocol(name, protocol_from(name)?);
+    }
+    let result = SweepEngine::new(jobs_arg(args)?).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
     println!(
         "{:<12} {:>10} {:>9} {:>12} {:>9} {:>11}",
         "protocol", "exec", "misslat", "byte-hops", "accuracy", "storage(KB)"
     );
-    for name in ["directory", "broadcast", "sp", "addr", "inst", "uni", "multicast"] {
-        let proto = protocol_from(name)?;
-        let s = CmpSystem::run_workload(&workload, &RunConfig::new(machine.clone(), proto));
+    for r in &result.runs {
+        let s = &r.stats;
         println!(
             "{:<12} {:>10} {:>9.1} {:>12} {:>8.1}% {:>11.2}",
-            name,
+            r.spec.protocol_label,
             s.exec_cycles,
             s.miss_latency.mean(),
             s.noc.byte_hops,
@@ -117,8 +144,98 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits a comma-separated option; `None` when absent.
+fn list_opt<'a>(args: &'a Args, key: &str) -> Option<Vec<&'a str>> {
+    args.opt(key).map(|v| {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect()
+    })
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let mut matrix = RunMatrix::new();
+    match list_opt(args, "benches") {
+        Some(names) => {
+            for name in names {
+                let spec =
+                    suite::by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+                matrix = matrix.bench(spec);
+            }
+        }
+        None => matrix = matrix.benches(suite::all()),
+    }
+    for name in list_opt(args, "protocols").unwrap_or_else(|| vec!["directory", "sp"]) {
+        matrix = matrix.protocol(name, protocol_from(name)?);
+    }
+    if let Some(seeds) = list_opt(args, "seeds") {
+        let parsed: Vec<u64> = seeds
+            .iter()
+            .map(|s| s.parse().map_err(|_| format!("invalid seed '{s}'")))
+            .collect::<Result<_, String>>()?;
+        matrix = matrix.seeds(&parsed);
+    }
+    if args.flag("filter") {
+        matrix = matrix.with_snoop_filter();
+    }
+    if matrix.is_empty() {
+        return Err("sweep matrix is empty".into());
+    }
+    let result = SweepEngine::new(jobs_arg(args)?).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
+
+    if let Some(path) = args.opt("golden") {
+        let rendered = golden::render(&result);
+        let path = std::path::Path::new(path);
+        if args.flag("update-golden") {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                }
+            }
+            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+            println!("wrote golden snapshot {}", path.display());
+        } else {
+            match golden::check_or_update(path, &rendered) {
+                Ok(true) => println!("wrote golden snapshot {}", path.display()),
+                Ok(false) => println!("golden snapshot {} matches", path.display()),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        return Ok(());
+    }
+
+    println!(
+        "{:<30} {:>10} {:>9} {:>12} {:>9}",
+        "run", "exec", "misslat", "byte-hops", "accuracy"
+    );
+    for r in &result.runs {
+        let s = &r.stats;
+        println!(
+            "{:<30} {:>10} {:>9.1} {:>12} {:>8.1}%",
+            r.spec.id(),
+            s.exec_cycles,
+            s.miss_latency.mean(),
+            s.noc.byte_hops,
+            s.accuracy() * 100.0,
+        );
+    }
+    let summary = result.summary();
+    println!(
+        "---\n{} runs | {} ops | mean miss latency {:.1} | accuracy {:.1}%",
+        summary.runs,
+        summary.total_ops,
+        summary.mean_miss_latency(),
+        summary.accuracy() * 100.0,
+    );
+    Ok(())
+}
+
 fn cmd_characterize(args: &Args) -> Result<(), String> {
-    let bench = args.opt("bench").ok_or("characterize requires --bench <name>")?;
+    let bench = args
+        .opt("bench")
+        .ok_or("characterize requires --bench <name>")?;
     let spec = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark '{bench}'"))?;
     let seed: u64 = args.opt_parse("seed", 7)?;
     let core: usize = args.opt_parse("core", 0)?;
@@ -138,7 +255,13 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     for r in stats.epoch_records[core].iter().take(50) {
         let hot = r.hot_set(0.10);
         let bits: String = (0..16)
-            .map(|i| if hot.contains(spcp_sim::CoreId::new(i)) { 'X' } else { '.' })
+            .map(|i| {
+                if hot.contains(spcp_sim::CoreId::new(i)) {
+                    'X'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!(
             "{:<26} {:>8} {:>5}  {}",
@@ -224,16 +347,19 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
     // Log-ish shading so sparse rows stay visible.
     let shades = [' ', '.', ':', '+', '*', '#', '@'];
     println!("{bench}: communication volume, source rows x target columns");
-    println!("      {}", (0..16).map(|i| format!("{i:>3}")).collect::<String>());
+    println!(
+        "      {}",
+        (0..16).map(|i| format!("{i:>3}")).collect::<String>()
+    );
     for (src, row) in stats.comm_matrix.iter().enumerate() {
         print!("  {src:>2} |");
         for &v in row {
             let shade = if v == 0 {
                 shades[0]
             } else {
-                let idx = 1 + ((v as f64).ln_1p() / (max as f64).ln_1p()
-                    * (shades.len() - 2) as f64)
-                    .round() as usize;
+                let idx = 1
+                    + ((v as f64).ln_1p() / (max as f64).ln_1p() * (shades.len() - 2) as f64)
+                        .round() as usize;
                 shades[idx.min(shades.len() - 1)]
             };
             print!("  {shade}");
@@ -249,6 +375,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
         "list" => cmd_list(),
         "run" => cmd_run(args),
         "compare" => cmd_compare(args),
+        "sweep" => cmd_sweep(args),
         "characterize" => cmd_characterize(args),
         "trace" => cmd_trace(args),
         "analyze" => cmd_analyze(args),
@@ -275,7 +402,15 @@ mod tests {
 
     #[test]
     fn protocol_parsing_covers_all_schemes() {
-        for p in ["directory", "broadcast", "sp", "addr", "inst", "uni", "multicast"] {
+        for p in [
+            "directory",
+            "broadcast",
+            "sp",
+            "addr",
+            "inst",
+            "uni",
+            "multicast",
+        ] {
             assert!(protocol_from(p).is_ok(), "{p}");
         }
         assert!(protocol_from("bogus").is_err());
@@ -318,10 +453,14 @@ end
     #[test]
     fn bad_spec_file_reports_line() {
         let path = std::env::temp_dir().join("spcp-cli-bad.spec");
-        std::fs::write(&path, "benchmark x
+        std::fs::write(
+            &path,
+            "benchmark x
 phase 0
 end
-").unwrap();
+",
+        )
+        .unwrap();
         let a = Args::parse(
             format!("run --spec-file {}", path.display())
                 .split_whitespace()
@@ -370,6 +509,63 @@ end
                 .map(String::from),
         );
         assert!(dispatch(&a).is_err());
+    }
+
+    #[test]
+    fn compare_smoke_with_jobs() {
+        let a = Args::parse(
+            "compare --bench x264 --jobs 2"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        let a = Args::parse(
+            "sweep --benches fft,lu --protocols dir,sp --seeds 7 --jobs 2"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_benchmark() {
+        let a = Args::parse(
+            "sweep --benches nosuch --jobs 1"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).unwrap_err().contains("nosuch"));
+    }
+
+    #[test]
+    fn sweep_golden_write_then_verify() {
+        let path = std::env::temp_dir().join("spcp-cli-test-sweep.golden");
+        let p = path.display();
+        let write = Args::parse(
+            format!("sweep --benches fft --protocols dir --jobs 1 --golden {p} --update-golden")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&write).is_ok());
+        let verify = Args::parse(
+            format!("sweep --benches fft --protocols dir --jobs 1 --golden {p}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&verify).is_ok());
+        let drifted = Args::parse(
+            format!("sweep --benches fft --protocols sp --jobs 1 --golden {p}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        if !spcp_harness::golden::update_requested() {
+            assert!(dispatch(&drifted).unwrap_err().contains("mismatch"));
+        }
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

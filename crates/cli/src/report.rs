@@ -19,7 +19,13 @@ pub fn text_summary(s: &RunStats) -> String {
         s.comm_miss_latency.mean()
     ));
     if let (Some(p50), Some(p95)) = (s.latency_percentile(0.5), s.latency_percentile(0.95)) {
-        let fmt = |v: u64| if v == u64::MAX { ">512".to_string() } else { format!("<={v}") };
+        let fmt = |v: u64| {
+            if v == u64::MAX {
+                ">512".to_string()
+            } else {
+                format!("<={v}")
+            }
+        };
         out.push_str(&format!(
             "latency percentiles  P50 {} cycles, P95 {} cycles\n",
             fmt(p50),
@@ -77,7 +83,10 @@ pub fn json_summary(s: &RunStats) -> String {
         ("pred_sufficient_comm", s.pred_sufficient_comm.to_string()),
         ("accuracy", format!("{:.6}", s.accuracy())),
         ("indirections", s.indirections.to_string()),
-        ("predictor_storage_bits", s.predictor_storage_bits.to_string()),
+        (
+            "predictor_storage_bits",
+            s.predictor_storage_bits.to_string(),
+        ),
         ("filtered_predictions", s.filtered_predictions.to_string()),
         ("migrations", s.migrations.to_string()),
     ];

@@ -521,7 +521,7 @@ mod tests {
         let mut p = SpPredictor::new(CoreId::new(0), 16, SpConfig::default());
         let a = 0b0010u64; // core 1
         let b = 0b1000u64; // core 3
-        // Alternating hot sets a, b, a — disjoint, so intersection would fail.
+                           // Alternating hot sets a, b, a — disjoint, so intersection would fail.
         run_epoch(&mut p, barrier(1), a, 20);
         run_epoch(&mut p, barrier(1), b, 20);
         run_epoch(&mut p, barrier(1), a, 20);
@@ -555,7 +555,7 @@ mod tests {
         };
         let mut p = SpPredictor::new(CoreId::new(0), 16, cfg);
         run_epoch(&mut p, barrier(1), 0b10, 3); // below noise threshold
-        // The instance ends at the next sync-point, where it is classified.
+                                                // The instance ends at the next sync-point, where it is classified.
         p.on_sync_point(barrier(1), None);
         assert_eq!(p.stats().noisy_instances, 1);
         assert_eq!(p.stats().signatures_stored, 0);
@@ -571,7 +571,7 @@ mod tests {
         };
         let mut p = SpPredictor::new(CoreId::new(0), 16, cfg);
         run_epoch(&mut p, barrier(1), 0b10, 20); // history: core 1
-        // Instance 1 actually communicates with core 7 instead.
+                                                 // Instance 1 actually communicates with core 7 instead.
         p.on_sync_point(barrier(1), None);
         let mut recovered = false;
         for _ in 0..20 {
@@ -656,7 +656,10 @@ mod tests {
         let s = p.stats();
         assert!(s.predictions > 0);
         assert!(s.correct() > 0);
-        assert_eq!(s.correct(), s.correct_d0 + s.correct_history + s.correct_lock + s.correct_recovery);
+        assert_eq!(
+            s.correct(),
+            s.correct_d0 + s.correct_history + s.correct_lock + s.correct_recovery
+        );
         assert!(s.no_prediction > 0); // the pre-warm-up misses of instance 0
         assert!(s.predicted_target_sum >= s.predictions);
     }

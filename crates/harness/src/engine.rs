@@ -1,0 +1,289 @@
+//! The parallel sweep engine: fans a run matrix out over a scoped worker
+//! pool and collects results in canonical matrix order.
+//!
+//! Determinism contract: each run is an isolated single-threaded simulation
+//! keyed only by its [`RunSpec`], workers write results into per-run slots
+//! indexed by `RunSpec::index`, and aggregation walks those slots in index
+//! order. Worker count and OS scheduling therefore affect wall-clock time
+//! only — never a single bit of the statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use spcp_system::RunStats;
+
+use crate::matrix::{RunMatrix, RunSpec};
+use crate::summary::SweepSummary;
+
+/// Outcome of one run: stats plus the engine's own timing metadata.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The spec that produced this result.
+    pub spec: RunSpec,
+    /// The run's statistics.
+    pub stats: RunStats,
+    /// Wall-clock time this single run took.
+    pub wall: Duration,
+    /// Which worker slot executed the run (informational only).
+    pub worker: usize,
+}
+
+/// All results of one sweep, in canonical matrix order.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Per-run results, ordered by `RunSpec::index`.
+    pub runs: Vec<RunResult>,
+    /// Wall-clock time for the whole sweep.
+    pub elapsed: Duration,
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+}
+
+impl SweepResult {
+    /// Aggregates every run into an order-independent [`SweepSummary`].
+    pub fn summary(&self) -> SweepSummary {
+        let mut sum = SweepSummary::new();
+        for r in &self.runs {
+            sum.observe(&r.stats);
+        }
+        sum
+    }
+
+    /// Looks up one run by its matrix coordinates (first machine match).
+    pub fn get(&self, bench: &str, protocol_label: &str, seed: u64) -> Option<&RunResult> {
+        self.runs.iter().find(|r| {
+            r.spec.bench.name == bench
+                && r.spec.protocol_label == protocol_label
+                && r.spec.seed == seed
+        })
+    }
+
+    /// Looks up one run by its full matrix coordinates, including machine.
+    pub fn get_on(
+        &self,
+        bench: &str,
+        protocol_label: &str,
+        seed: u64,
+        machine_label: &str,
+    ) -> Option<&RunResult> {
+        self.runs.iter().find(|r| {
+            r.spec.bench.name == bench
+                && r.spec.protocol_label == protocol_label
+                && r.spec.seed == seed
+                && r.spec.machine_label == machine_label
+        })
+    }
+
+    /// All runs under the given protocol label, in canonical matrix order.
+    pub fn by_protocol(&self, label: &str) -> Vec<&RunResult> {
+        self.runs
+            .iter()
+            .filter(|r| r.spec.protocol_label == label)
+            .collect()
+    }
+
+    /// Sum of per-run wall times: the serial-equivalent workload.
+    pub fn busy_time(&self) -> Duration {
+        self.runs.iter().map(|r| r.wall).sum()
+    }
+
+    /// Observed parallel speedup: busy time over elapsed time.
+    ///
+    /// ≈1.0 at `--jobs 1`; approaches the worker count when runs are
+    /// well-balanced and cores are available.
+    pub fn speedup(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 1.0;
+        }
+        self.busy_time().as_secs_f64() / elapsed
+    }
+
+    /// Simulated memory operations retired per wall-clock second.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let elapsed = self.elapsed.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let ops: u64 = self.runs.iter().map(|r| r.stats.total_ops).sum();
+        ops as f64 / elapsed
+    }
+
+    /// One-line timing report, e.g. for bench binaries.
+    pub fn timing_line(&self) -> String {
+        format!(
+            "{} runs | jobs={} | wall {:.2}s | busy {:.2}s | speedup {:.2}x | {:.0} ops/s",
+            self.runs.len(),
+            self.jobs,
+            self.elapsed.as_secs_f64(),
+            self.busy_time().as_secs_f64(),
+            self.speedup(),
+            self.throughput_ops_per_sec(),
+        )
+    }
+}
+
+/// A fixed-width worker pool that executes [`RunMatrix`] sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_harness::{RunMatrix, SweepEngine};
+/// use spcp_system::ProtocolKind;
+/// use spcp_workloads::suite;
+///
+/// let matrix = RunMatrix::new()
+///     .bench(suite::by_name("fft").unwrap())
+///     .protocol("dir", ProtocolKind::Directory);
+/// let result = SweepEngine::new(2).run(&matrix);
+/// assert_eq!(result.runs.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepEngine {
+    jobs: usize,
+}
+
+impl SweepEngine {
+    /// An engine with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepEngine { jobs: jobs.max(1) }
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine::new(jobs)
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Expands and executes a matrix.
+    pub fn run(&self, matrix: &RunMatrix) -> SweepResult {
+        self.run_specs(matrix.expand())
+    }
+
+    /// Executes pre-expanded specs (their `index` fields define result
+    /// order; they need not be contiguous).
+    pub fn run_specs(&self, specs: Vec<RunSpec>) -> SweepResult {
+        let started = Instant::now();
+        let n = specs.len();
+        let workers = self.jobs.min(n.max(1));
+
+        // One slot per run. Workers claim specs through a shared cursor and
+        // deposit into their spec's slot, so the collected order is the
+        // canonical matrix order no matter which worker finished first.
+        let slots: Vec<Mutex<Option<(RunStats, Duration, usize)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let specs_ref = &specs;
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let slots = &slots;
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let stats = specs_ref[i].execute();
+                    let wall = t0.elapsed();
+                    *slots[i].lock().unwrap() = Some((stats, wall, worker));
+                });
+            }
+        });
+
+        let mut runs = Vec::with_capacity(n);
+        for (spec, slot) in specs.into_iter().zip(slots) {
+            let (stats, wall, worker) = slot
+                .into_inner()
+                .unwrap()
+                .expect("worker pool exited without filling every slot");
+            runs.push(RunResult {
+                spec,
+                stats,
+                wall,
+                worker,
+            });
+        }
+
+        SweepResult {
+            runs,
+            elapsed: started.elapsed(),
+            jobs: workers.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_system::ProtocolKind;
+    use spcp_workloads::suite;
+
+    fn small_matrix() -> RunMatrix {
+        RunMatrix::new()
+            .bench(suite::by_name("fft").unwrap())
+            .bench(suite::by_name("radix").unwrap())
+            .protocol("dir", ProtocolKind::Directory)
+            .protocol("bc", ProtocolKind::Broadcast)
+    }
+
+    #[test]
+    fn results_arrive_in_matrix_order() {
+        let result = SweepEngine::new(3).run(&small_matrix());
+        assert_eq!(result.runs.len(), 4);
+        for (i, r) in result.runs.iter().enumerate() {
+            assert_eq!(r.spec.index, i);
+        }
+        assert!(result.get("fft", "dir", 7).is_some());
+        assert!(result.get("fft", "missing", 7).is_none());
+        assert!(result.get_on("fft", "dir", 7, "paper16").is_some());
+        assert!(result.get_on("fft", "dir", 7, "other").is_none());
+        let dirs = result.by_protocol("dir");
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.iter().all(|r| r.spec.protocol_label == "dir"));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_stats() {
+        let serial = SweepEngine::new(1).run(&small_matrix());
+        let parallel = SweepEngine::new(4).run(&small_matrix());
+        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(a.spec.id(), b.spec.id());
+            assert_eq!(a.stats.exec_cycles, b.stats.exec_cycles);
+            assert_eq!(a.stats.noc.byte_hops, b.stats.noc.byte_hops);
+            assert_eq!(a.stats.total_ops, b.stats.total_ops);
+        }
+        assert_eq!(serial.summary(), parallel.summary());
+    }
+
+    #[test]
+    fn timing_metrics_are_sane() {
+        let result = SweepEngine::new(2).run(&small_matrix());
+        assert!(result.elapsed > Duration::ZERO);
+        assert!(result.busy_time() > Duration::ZERO);
+        assert!(result.speedup() > 0.0);
+        assert!(result.throughput_ops_per_sec() > 0.0);
+        assert!(result.timing_line().contains("jobs=2"));
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(SweepEngine::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn empty_spec_list_is_fine() {
+        let result = SweepEngine::new(4).run_specs(Vec::new());
+        assert!(result.runs.is_empty());
+        assert_eq!(result.summary(), SweepSummary::new());
+    }
+}

@@ -1,0 +1,50 @@
+//! Parallel experiment sweep engine for the SPCP reproduction.
+//!
+//! The paper's evaluation is a large run matrix — benchmarks × protocols ×
+//! seeds × machine configurations. Each cell is an independent,
+//! single-threaded, fully deterministic simulation, so the matrix is
+//! embarrassingly parallel. This crate provides:
+//!
+//! - [`RunMatrix`] / [`RunSpec`] — the declarative matrix and its canonical
+//!   expansion order,
+//! - [`SweepEngine`] — a `std::thread::scope` worker pool with per-run
+//!   wall-time and throughput metrics ([`SweepResult`]),
+//! - [`SweepSummary`] — exact, order-independent aggregation of
+//!   [`spcp_system::RunStats`],
+//! - [`golden`] — golden-snapshot emit/verify of run stats to a line-based
+//!   text format (see `docs/HARNESS.md` and `docs/FORMATS.md`).
+//!
+//! # Determinism guarantees
+//!
+//! For a fixed matrix, the engine produces bit-identical per-run stats and
+//! bit-identical merged summaries at any `--jobs` value. This holds
+//! because runs share no mutable state, results are collected into slots
+//! indexed by the canonical matrix order, and summaries use exact integer
+//! accumulators whose merge is commutative and associative.
+//!
+//! # Examples
+//!
+//! ```
+//! use spcp_harness::{RunMatrix, SweepEngine};
+//! use spcp_system::ProtocolKind;
+//! use spcp_workloads::suite;
+//!
+//! let matrix = RunMatrix::new()
+//!     .bench(suite::by_name("fft").unwrap())
+//!     .protocol("dir", ProtocolKind::Directory)
+//!     .protocol("bc", ProtocolKind::Broadcast);
+//! let serial = SweepEngine::new(1).run(&matrix);
+//! let parallel = SweepEngine::new(4).run(&matrix);
+//! assert_eq!(serial.summary(), parallel.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod golden;
+pub mod matrix;
+pub mod summary;
+
+pub use engine::{RunResult, SweepEngine, SweepResult};
+pub use matrix::{MachineEntry, ProtocolEntry, RunMatrix, RunSpec};
+pub use summary::SweepSummary;

@@ -1,0 +1,302 @@
+//! Declarative run matrices: the cross product of benchmarks, protocols,
+//! seeds and machine configurations that an experiment sweeps over.
+
+use spcp_system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig, RunStats};
+use spcp_workloads::BenchmarkSpec;
+
+/// A labelled protocol entry in a [`RunMatrix`].
+///
+/// The label is what reports, golden files and lookups key on (e.g. `dir`,
+/// `sp`), independent of the longer [`ProtocolKind::name`].
+#[derive(Debug, Clone)]
+pub struct ProtocolEntry {
+    /// Short stable label used in reports and golden snapshots.
+    pub label: String,
+    /// The protocol configuration itself.
+    pub kind: ProtocolKind,
+}
+
+/// A labelled machine configuration in a [`RunMatrix`].
+#[derive(Debug, Clone)]
+pub struct MachineEntry {
+    /// Short stable label used in reports and golden snapshots.
+    pub label: String,
+    /// The machine configuration itself.
+    pub config: MachineConfig,
+}
+
+/// The declarative cross product an experiment sweeps over.
+///
+/// A matrix is benchmarks × protocols × seeds × machines, plus run flags
+/// that apply to every cell. [`RunMatrix::expand`] flattens it into
+/// individually executable [`RunSpec`]s in a deterministic order
+/// (benchmark-major, then protocol, then seed, then machine), so run
+/// indices are stable across processes and worker counts.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_harness::RunMatrix;
+/// use spcp_system::ProtocolKind;
+/// use spcp_workloads::suite;
+///
+/// let matrix = RunMatrix::new()
+///     .bench(suite::by_name("fmm").unwrap())
+///     .protocol("dir", ProtocolKind::Directory)
+///     .protocol("bc", ProtocolKind::Broadcast)
+///     .seeds(&[7, 8]);
+/// assert_eq!(matrix.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunMatrix {
+    benches: Vec<BenchmarkSpec>,
+    protocols: Vec<ProtocolEntry>,
+    seeds: Vec<u64>,
+    machines: Vec<MachineEntry>,
+    machines_explicit: bool,
+    record: bool,
+    validate: bool,
+    snoop_filter: bool,
+}
+
+impl Default for RunMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunMatrix {
+    /// An empty matrix with seed 7 on the paper's 16-core machine.
+    ///
+    /// Seed 7 and `paper16` match the defaults the bench binaries have
+    /// always used, so sweeps reproduce the figures unless overridden.
+    pub fn new() -> Self {
+        RunMatrix {
+            benches: Vec::new(),
+            protocols: Vec::new(),
+            seeds: vec![7],
+            machines: vec![MachineEntry {
+                label: "paper16".to_string(),
+                config: MachineConfig::paper_16core(),
+            }],
+            machines_explicit: false,
+            record: false,
+            validate: false,
+            snoop_filter: false,
+        }
+    }
+
+    /// Adds one benchmark.
+    pub fn bench(mut self, spec: BenchmarkSpec) -> Self {
+        self.benches.push(spec);
+        self
+    }
+
+    /// Adds many benchmarks.
+    pub fn benches(mut self, specs: impl IntoIterator<Item = BenchmarkSpec>) -> Self {
+        self.benches.extend(specs);
+        self
+    }
+
+    /// Adds a labelled protocol.
+    pub fn protocol(mut self, label: impl Into<String>, kind: ProtocolKind) -> Self {
+        self.protocols.push(ProtocolEntry {
+            label: label.into(),
+            kind,
+        });
+        self
+    }
+
+    /// Replaces the seed list (default: `[7]`).
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Adds a labelled machine. The first explicit machine replaces the
+    /// implicit `paper16` default.
+    pub fn machine(mut self, label: impl Into<String>, config: MachineConfig) -> Self {
+        if !self.machines_explicit {
+            self.machines.clear();
+            self.machines_explicit = true;
+        }
+        self.machines.push(MachineEntry {
+            label: label.into(),
+            config,
+        });
+        self
+    }
+
+    /// Enables epoch/volume recording on every run.
+    pub fn recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Runs every cell through the validated entry point, which checks
+    /// coherence invariants after the run.
+    pub fn validated(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// Enables the snoop filter on every run.
+    pub fn with_snoop_filter(mut self) -> Self {
+        self.snoop_filter = true;
+        self
+    }
+
+    /// Number of runs the matrix expands to.
+    pub fn len(&self) -> usize {
+        self.benches.len() * self.protocols.len() * self.seeds.len() * self.machines.len()
+    }
+
+    /// True when the matrix expands to no runs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens the matrix into executable [`RunSpec`]s.
+    ///
+    /// The order is benchmark-major → protocol → seed → machine and is the
+    /// canonical run ordering: `RunSpec::index` positions are identical no
+    /// matter how many workers later execute them.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::with_capacity(self.len());
+        for bench in &self.benches {
+            for proto in &self.protocols {
+                for &seed in &self.seeds {
+                    for machine in &self.machines {
+                        specs.push(RunSpec {
+                            index: specs.len(),
+                            bench: bench.clone(),
+                            protocol_label: proto.label.clone(),
+                            protocol: proto.kind.clone(),
+                            seed,
+                            machine_label: machine.label.clone(),
+                            machine: machine.config.clone(),
+                            record: self.record,
+                            validate: self.validate,
+                            snoop_filter: self.snoop_filter,
+                        });
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// One fully specified, independently executable experiment run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Position in the canonical matrix ordering.
+    pub index: usize,
+    /// The workload to synthesize.
+    pub bench: BenchmarkSpec,
+    /// Short protocol label from the matrix.
+    pub protocol_label: String,
+    /// The protocol to run under.
+    pub protocol: ProtocolKind,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Short machine label from the matrix.
+    pub machine_label: String,
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// Record per-epoch sharing volumes.
+    pub record: bool,
+    /// Check coherence invariants after the run.
+    pub validate: bool,
+    /// Enable the snoop filter.
+    pub snoop_filter: bool,
+}
+
+impl RunSpec {
+    /// Synthesizes the workload and simulates it, returning the run's stats.
+    ///
+    /// Runs share no mutable state, which is what makes the sweep engine's
+    /// parallelism trivially deterministic.
+    pub fn execute(&self) -> RunStats {
+        let workload = self.bench.generate(self.machine.num_cores, self.seed);
+        let mut cfg = RunConfig::new(self.machine.clone(), self.protocol.clone());
+        if self.record {
+            cfg = cfg.recording();
+        }
+        if self.snoop_filter {
+            cfg = cfg.with_snoop_filter();
+        }
+        if self.validate {
+            CmpSystem::run_workload_validated(&workload, &cfg)
+        } else {
+            CmpSystem::run_workload(&workload, &cfg)
+        }
+    }
+
+    /// A compact human-readable identifier, e.g. `fmm/dir/seed7/paper16`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/seed{}/{}",
+            self.bench.name, self.protocol_label, self.seed, self.machine_label
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_workloads::suite;
+
+    fn tiny_matrix() -> RunMatrix {
+        RunMatrix::new()
+            .bench(suite::by_name("fft").unwrap())
+            .bench(suite::by_name("lu").unwrap())
+            .protocol("dir", ProtocolKind::Directory)
+            .protocol("bc", ProtocolKind::Broadcast)
+            .seeds(&[7, 11])
+    }
+
+    #[test]
+    fn expansion_is_bench_major_and_indexed() {
+        let specs = tiny_matrix().expand();
+        assert_eq!(specs.len(), 8);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        assert_eq!(specs[0].id(), "fft/dir/seed7/paper16");
+        assert_eq!(specs[1].id(), "fft/dir/seed11/paper16");
+        assert_eq!(specs[2].id(), "fft/bc/seed7/paper16");
+        assert_eq!(specs[4].id(), "lu/dir/seed7/paper16");
+    }
+
+    #[test]
+    fn explicit_machine_replaces_default() {
+        let mut small = MachineConfig::paper_16core();
+        small.num_cores = 4;
+        small.noc.width = 2;
+        small.noc.height = 2;
+        let m = RunMatrix::new()
+            .bench(suite::by_name("fft").unwrap())
+            .protocol("dir", ProtocolKind::Directory)
+            .machine("quad", small);
+        let specs = m.expand();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].machine_label, "quad");
+        assert_eq!(specs[0].machine.num_cores, 4);
+    }
+
+    #[test]
+    fn empty_matrix_reports_empty() {
+        assert!(RunMatrix::new().is_empty());
+    }
+
+    #[test]
+    fn execute_is_deterministic() {
+        let spec = &tiny_matrix().expand()[0];
+        let a = spec.execute();
+        let b = spec.execute();
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.noc.byte_hops, b.noc.byte_hops);
+        assert_eq!(a.total_ops, b.total_ops);
+    }
+}

@@ -204,6 +204,9 @@ mod tests {
     fn display_formats() {
         assert_eq!(Addr::new(255).to_string(), "0xff");
         assert_eq!(BlockAddr::from_index(16).to_string(), "blk:0x10");
-        assert_eq!(BlockAddr::from_index(16).macro_block(256).to_string(), "mblk:0x4");
+        assert_eq!(
+            BlockAddr::from_index(16).macro_block(256).to_string(),
+            "mblk:0x4"
+        );
     }
 }

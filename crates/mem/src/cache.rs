@@ -150,7 +150,10 @@ impl<T> SetAssocCache<T> {
     /// (a coherence *probe*, as opposed to a demand access).
     pub fn probe(&self, block: BlockAddr) -> Option<&T> {
         let idx = self.set_index(block);
-        self.sets[idx].iter().find(|w| w.tag == block).map(|w| &w.payload)
+        self.sets[idx]
+            .iter()
+            .find(|w| w.tag == block)
+            .map(|w| &w.payload)
     }
 
     /// Mutable probe without LRU/counter side effects.

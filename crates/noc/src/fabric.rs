@@ -285,7 +285,12 @@ mod tests {
     #[test]
     fn local_delivery_is_instant() {
         let mut f = fabric();
-        let t = f.send(CoreId::new(3), CoreId::new(3), MsgKind::Request, Cycle::new(10));
+        let t = f.send(
+            CoreId::new(3),
+            CoreId::new(3),
+            MsgKind::Request,
+            Cycle::new(10),
+        );
         assert_eq!(t, Cycle::new(10));
         assert_eq!(f.stats().byte_hops, 0);
         assert_eq!(f.stats().messages, 1);
@@ -294,7 +299,12 @@ mod tests {
     #[test]
     fn one_hop_latency_is_router_plus_link() {
         let mut f = fabric();
-        let t = f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+        let t = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::Request,
+            Cycle::ZERO,
+        );
         assert_eq!(t.as_u64(), 3);
     }
 
@@ -302,14 +312,24 @@ mod tests {
     fn corner_to_corner_latency() {
         let mut f = fabric();
         // 6 hops * (2+1) = 18 cycles uncontended.
-        let t = f.send(CoreId::new(0), CoreId::new(15), MsgKind::Request, Cycle::ZERO);
+        let t = f.send(
+            CoreId::new(0),
+            CoreId::new(15),
+            MsgKind::Request,
+            Cycle::ZERO,
+        );
         assert_eq!(t.as_u64(), 18);
     }
 
     #[test]
     fn bandwidth_counts_byte_hops() {
         let mut f = fabric();
-        f.send(CoreId::new(0), CoreId::new(2), MsgKind::DataResponse, Cycle::ZERO);
+        f.send(
+            CoreId::new(0),
+            CoreId::new(2),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         // 72 bytes * 2 hops
         assert_eq!(f.stats().byte_hops, 144);
         assert_eq!(f.stats().bytes_injected, 72);
@@ -319,7 +339,12 @@ mod tests {
     fn energy_uses_router_4x_link_model() {
         let cfg = NocConfig::default();
         let mut f = Fabric::new(cfg.clone());
-        f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
+        f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::Request,
+            Cycle::ZERO,
+        );
         let expected = 8.0 * 1.0 * (cfg.link_energy_per_byte + cfg.router_energy_per_byte);
         assert!((f.stats().energy - expected).abs() < 1e-9);
     }
@@ -331,8 +356,18 @@ mod tests {
             ..NocConfig::default()
         });
         // Two data messages over the same single-VC link at the same cycle.
-        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
-        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t1 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
+        let t2 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         assert!(t2 > t1, "second message must queue behind the first");
         assert!(f.stats().contention_cycles > 0);
     }
@@ -340,14 +375,34 @@ mod tests {
     #[test]
     fn virtual_channels_absorb_small_bursts() {
         let mut f = fabric(); // 4 VCs by default
-        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
-        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t1 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
+        let t2 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         assert_eq!(t1, t2, "a 4-VC link passes two concurrent messages");
         // A fifth concurrent message exhausts the VCs.
         for _ in 0..2 {
-            f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+            f.send(
+                CoreId::new(0),
+                CoreId::new(1),
+                MsgKind::DataResponse,
+                Cycle::ZERO,
+            );
         }
-        let t5 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t5 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         assert!(t5 > t1);
     }
 
@@ -357,8 +412,18 @@ mod tests {
             model_contention: false,
             ..NocConfig::default()
         });
-        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
-        let t2 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::DataResponse, Cycle::ZERO);
+        let t1 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
+        let t2 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         assert_eq!(t1, t2);
         assert_eq!(f.stats().contention_cycles, 0);
     }
@@ -366,8 +431,18 @@ mod tests {
     #[test]
     fn disjoint_paths_do_not_interfere() {
         let mut f = fabric();
-        let t1 = f.send(CoreId::new(0), CoreId::new(1), MsgKind::Request, Cycle::ZERO);
-        let t2 = f.send(CoreId::new(8), CoreId::new(9), MsgKind::Request, Cycle::ZERO);
+        let t1 = f.send(
+            CoreId::new(0),
+            CoreId::new(1),
+            MsgKind::Request,
+            Cycle::ZERO,
+        );
+        let t2 = f.send(
+            CoreId::new(8),
+            CoreId::new(9),
+            MsgKind::Request,
+            Cycle::ZERO,
+        );
         assert_eq!(t1, t2);
         assert_eq!(f.stats().contention_cycles, 0);
     }
@@ -390,7 +465,12 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut f = fabric();
-        f.send(CoreId::new(0), CoreId::new(5), MsgKind::DataResponse, Cycle::ZERO);
+        f.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
         f.reset();
         assert_eq!(*f.stats(), NocStats::default());
     }

@@ -214,9 +214,7 @@ impl FlitNetwork {
                 // Wormhole: if an input owns this output, it goes next.
                 let candidates: Vec<usize> = match router.output_owner[out] {
                     Some(owner) => vec![owner],
-                    None => (0..PORTS)
-                        .map(|i| (router.rr[out] + i) % PORTS)
-                        .collect(),
+                    None => (0..PORTS).map(|i| (router.rr[out] + i) % PORTS).collect(),
                 };
                 for input in candidates {
                     let Some(flit) = router.inputs[input].front() else {
@@ -244,8 +242,7 @@ impl FlitNetwork {
                 .pop_front()
                 .expect("move was computed from a non-empty buffer");
             // Maintain the wormhole lock.
-            self.routers[r].output_owner[out] =
-                if flit.is_tail { None } else { Some(input) };
+            self.routers[r].output_owner[out] = if flit.is_tail { None } else { Some(input) };
             self.routers[r].rr[out] = (input + 1) % PORTS;
             if out == LOCAL {
                 if flit.is_tail {
@@ -378,7 +375,8 @@ mod tests {
             for src in 0..16 {
                 let dst = (src * 7 + round as usize) % 16;
                 if src != dst
-                    && n.inject(CoreId::new(src), CoreId::new(dst), 2, injected).is_some()
+                    && n.inject(CoreId::new(src), CoreId::new(dst), 2, injected)
+                        .is_some()
                 {
                     injected += 1;
                 }

@@ -108,7 +108,11 @@ impl Mesh {
     /// Panics if the core index is outside the mesh.
     pub fn coord_of(&self, core: CoreId) -> Coord {
         let i = core.index();
-        assert!(i < self.nodes(), "core {i} outside a {}-node mesh", self.nodes());
+        assert!(
+            i < self.nodes(),
+            "core {i} outside a {}-node mesh",
+            self.nodes()
+        );
         Coord {
             x: i % self.width,
             y: i / self.width,
@@ -311,7 +315,10 @@ mod tests {
     #[test]
     fn direction_indices_are_distinct() {
         use Direction::*;
-        let idx: Vec<usize> = [East, West, North, South].iter().map(|d| d.index()).collect();
+        let idx: Vec<usize> = [East, West, North, South]
+            .iter()
+            .map(|d| d.index())
+            .collect();
         let mut sorted = idx.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -44,9 +44,7 @@ impl MsgKind {
     /// On-wire size of a message of this kind, in bytes.
     pub fn bytes(self) -> u64 {
         match self {
-            MsgKind::DataResponse | MsgKind::WriteBack => {
-                Self::HEADER_BYTES + Self::LINE_BYTES
-            }
+            MsgKind::DataResponse | MsgKind::WriteBack => Self::HEADER_BYTES + Self::LINE_BYTES,
             _ => Self::HEADER_BYTES,
         }
     }

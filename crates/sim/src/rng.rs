@@ -1,7 +1,12 @@
 //! Deterministic random-number generation for workload synthesis.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ implementation (public
+//! domain algorithm by Blackman & Vigna) seeded through SplitMix64, so the
+//! workspace carries no external RNG dependency and builds fully offline.
+//! Determinism is a hard requirement: the parallel sweep harness
+//! (`spcp-harness`) asserts bit-identical statistics regardless of worker
+//! count, which only holds because every stochastic choice flows through
+//! this seeded stream.
 
 /// A seeded, reproducible random-number source.
 ///
@@ -24,15 +29,46 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = splitmix64(&mut sm);
         }
+        // xoshiro256++ must not start from the all-zero state; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if state == [0; 4] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { state }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child stream labelled by `salt`.
@@ -41,18 +77,31 @@ impl DetRng {
     /// are decorrelated regardless of how much the parent is consumed
     /// afterwards.
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         DetRng::seeded(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform integer in `[lo, hi)`.
+    ///
+    /// Uses Lemire's widening-multiply method with rejection, so the
+    /// distribution is exactly uniform for every span.
     ///
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform `usize` index in `[0, n)`.
@@ -62,7 +111,7 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.range(0, n as u64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -73,12 +122,12 @@ impl DetRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen_bool(p)
+        self.unit() < p
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Picks a uniformly random element of `items`.
@@ -133,11 +182,42 @@ mod tests {
     }
 
     #[test]
+    fn forks_with_distinct_salts_diverge() {
+        let mut parent = DetRng::seeded(9);
+        let mut a = parent.clone().fork(1);
+        let mut b = parent.fork(2);
+        let sa: Vec<u64> = (0..16).map(|_| a.range(0, 1_000_000)).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.range(0, 1_000_000)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
     fn range_bounds_respected() {
         let mut r = DetRng::seeded(5);
         for _ in 0..1000 {
             let v = r.range(10, 20);
             assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = DetRng::seeded(31);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.range(0, 10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = DetRng::seeded(17);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit = {u}");
         }
     }
 

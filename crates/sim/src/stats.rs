@@ -47,6 +47,12 @@ impl Counter {
         self.0 = 0;
     }
 
+    /// Merges another counter into this one (saturating).
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.add(other.get());
+    }
+
     /// This count as a fraction of `total`, or 0.0 when `total` is zero.
     pub fn fraction_of(self, total: u64) -> f64 {
         if total == 0 {
@@ -217,6 +223,26 @@ impl Histogram {
         self.total
     }
 
+    /// Merges another histogram into this one.
+    ///
+    /// Merging is exact (integer counts) and commutative/associative, so
+    /// aggregates are independent of merge order — the property the
+    /// parallel sweep harness relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Fraction of samples in bucket `idx`, or 0.0 when empty.
     pub fn fraction(&self, idx: usize) -> f64 {
         if self.total == 0 {
@@ -327,6 +353,42 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_bad_bounds() {
         Histogram::with_bounds(&[5, 5]);
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::new();
+        a.add(3);
+        let mut b = Counter::new();
+        b.add(4);
+        a.merge(b);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let mut a = Histogram::with_bounds(&[2, 4]);
+        let mut b = Histogram::with_bounds(&[2, 4]);
+        for s in [0, 1, 3] {
+            a.record(s);
+        }
+        for s in [5, 3, 100] {
+            b.record(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 6);
+        assert_eq!(ab.bucket_counts(), &[2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[2]);
+        a.merge(&Histogram::with_bounds(&[3]));
     }
 
     #[test]

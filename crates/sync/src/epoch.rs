@@ -222,8 +222,14 @@ mod tests {
         let mut t = EpochTracker::new();
         t.observe(barrier(1));
         t.observe(barrier(2));
-        let id1 = EpochId { kind: SyncKind::Barrier, static_id: StaticSyncId::new(1) };
-        let id2 = EpochId { kind: SyncKind::Barrier, static_id: StaticSyncId::new(2) };
+        let id1 = EpochId {
+            kind: SyncKind::Barrier,
+            static_id: StaticSyncId::new(1),
+        };
+        let id2 = EpochId {
+            kind: SyncKind::Barrier,
+            static_id: StaticSyncId::new(2),
+        };
         assert_eq!(t.instances_of(id1), 1);
         assert_eq!(t.instances_of(id2), 1);
     }

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(SyncPoint::barrier(StaticSyncId::new(1)).to_string(), "barrier(sp#1)");
+        assert_eq!(
+            SyncPoint::barrier(StaticSyncId::new(1)).to_string(),
+            "barrier(sp#1)"
+        );
         assert_eq!(SyncPoint::lock(LockId::new(2)).to_string(), "lock(lock#2)");
         assert_eq!(SyncKind::Broadcast.to_string(), "broadcast");
     }

@@ -80,7 +80,10 @@ impl MachineConfig {
             self.num_cores,
             "mesh dimensions must cover exactly the core count"
         );
-        assert!(self.num_cores >= 2, "a multiprocessor needs at least 2 cores");
+        assert!(
+            self.num_cores >= 2,
+            "a multiprocessor needs at least 2 cores"
+        );
     }
 }
 

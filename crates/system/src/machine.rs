@@ -255,7 +255,9 @@ impl CmpSystem {
                                     self.barrier_id = None;
                                     self.barrier_releases += 1;
                                     if self.cfg.migrate_every > 0
-                                        && self.barrier_releases.is_multiple_of(self.cfg.migrate_every)
+                                        && self
+                                            .barrier_releases
+                                            .is_multiple_of(self.cfg.migrate_every)
                                     {
                                         self.migrate();
                                     }
@@ -375,10 +377,7 @@ impl CmpSystem {
             Some(state) if !store || state.is_writable() => {
                 // Plain hit (load on any valid line; store on M/E).
                 if store && state == LineState::Exclusive {
-                    *self.tiles[c]
-                        .l2
-                        .probe_mut(block)
-                        .expect("probed above") = LineState::Modified;
+                    *self.tiles[c].l2.probe_mut(block).expect("probed above") = LineState::Modified;
                 }
                 // Refresh L2 LRU via a demand lookup.
                 self.tiles[c].l2.lookup(block);
@@ -397,7 +396,11 @@ impl CmpSystem {
                 self.transaction(th, core, t, block, pc, AccessKind::Upgrade)
             }
             None => {
-                let kind = if store { AccessKind::Write } else { AccessKind::Read };
+                let kind = if store {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 self.transaction(th, core, t, block, pc, kind)
             }
         }
@@ -538,8 +541,7 @@ impl CmpSystem {
                         }
                     }
                 }
-                let mesif =
-                    self.cfg.machine.variant == crate::config::CoherenceVariant::Mesif;
+                let mesif = self.cfg.machine.variant == crate::config::CoherenceVariant::Mesif;
                 let state = if alone {
                     LineState::Exclusive
                 } else if mesif {
@@ -573,7 +575,9 @@ impl CmpSystem {
         }
 
         self.stats.miss_latency.record((completion - t0).as_u64());
-        self.stats.miss_latency_hist.record((completion - t0).as_u64());
+        self.stats
+            .miss_latency_hist
+            .record((completion - t0).as_u64());
         if communicating {
             self.stats
                 .comm_miss_latency
@@ -764,10 +768,7 @@ impl CmpSystem {
         // Every probed node that neither supplied data nor acked an
         // invalidation still answers the snoop (bandwidth only).
         for dst in probe_set.iter() {
-            if dst == core
-                || Some(dst) == owner
-                || (kind.is_exclusive() && targets.contains(dst))
-            {
+            if dst == core || Some(dst) == owner || (kind.is_exclusive() && targets.contains(dst)) {
                 continue;
             }
             self.fabric.send_untimed(dst, core, MsgKind::SnoopResponse);
@@ -847,7 +848,15 @@ impl CmpSystem {
 
         let completion = if sufficient {
             self.snoop_resolve(
-                core, t0, block, pc, kind, owner, targets, probe_set, MsgKind::SnoopProbe,
+                core,
+                t0,
+                block,
+                pc,
+                kind,
+                owner,
+                targets,
+                probe_set,
+                MsgKind::SnoopProbe,
             )
         } else {
             // Phase 1 probes miss the owner/sharers; the ordering point
@@ -867,12 +876,20 @@ impl CmpSystem {
                 probe_set,
                 MsgKind::SnoopProbe,
             );
-            let t_detect = self.fabric.send(core, home, MsgKind::Request, t0)
-                + self.cfg.machine.dir_latency;
+            let t_detect =
+                self.fabric.send(core, home, MsgKind::Request, t0) + self.cfg.machine.dir_latency;
             let retry = self.fabric.send(home, core, MsgKind::Nack, t_detect);
             let everyone = CoreSet::all(self.dir.num_tiles());
             self.snoop_resolve(
-                core, retry, block, pc, kind, owner, targets, everyone, MsgKind::SnoopProbe,
+                core,
+                retry,
+                block,
+                pc,
+                kind,
+                owner,
+                targets,
+                everyone,
+                MsgKind::SnoopProbe,
             )
         };
 
@@ -1302,12 +1319,18 @@ mod tests {
         let w = suite::radix().generate(16, 7); // private-heavy
         let plain = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         let filtered = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default()))
-                .with_snoop_filter(),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            )
+            .with_snoop_filter(),
         );
         assert!(filtered.filtered_predictions > 0);
         assert!(
@@ -1327,7 +1350,10 @@ mod tests {
         let w = suite::fluidanimate().generate(16, 7); // fine-grain locking
         let hw = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         let sw = CmpSystem::run_workload(
             &w,
@@ -1352,12 +1378,18 @@ mod tests {
         let book = crate::oracle::OracleBook::from_records(&rec.epoch_records, 0.10);
         let cold = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         let warm = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default()))
-                .with_warm_start(book),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            )
+            .with_warm_start(book),
         );
         assert!(
             warm.accuracy() > cold.accuracy(),
@@ -1372,17 +1404,26 @@ mod tests {
         let w = suite::facesim().generate(16, 7); // stable partners
         let pinned = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         let migrated_physical = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default()))
-                .with_migration(10, 1, false),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            )
+            .with_migration(10, 1, false),
         );
         let migrated_logical = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default()))
-                .with_migration(10, 1, true),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            )
+            .with_migration(10, 1, true),
         );
         assert!(migrated_physical.migrations > 0);
         assert!(
@@ -1427,11 +1468,17 @@ mod tests {
         let book = crate::oracle::OracleBook::from_records(&rec.epoch_records, 0.10);
         let oracle = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::Oracle(book))),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::Oracle(book)),
+            ),
         );
         let sp = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         assert!(oracle.accuracy() > 0.0);
         assert!(
@@ -1467,10 +1514,8 @@ mod tests {
             &w,
             &RunConfig::new(machine(), ProtocolKind::Directory),
         );
-        let mesi_run = CmpSystem::run_workload_validated(
-            &w,
-            &RunConfig::new(mesi, ProtocolKind::Directory),
-        );
+        let mesi_run =
+            CmpSystem::run_workload_validated(&w, &RunConfig::new(mesi, ProtocolKind::Directory));
         assert!(
             mesi_run.comm_misses < mesif_run.comm_misses,
             "MESI must lose clean-forwarding transfers: {} !< {}",
@@ -1500,10 +1545,13 @@ mod tests {
         let w = suite::x264().generate(16, 7);
         let s = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default()))
-                .with_migration(5, 3, true)
-                .tracing()
-                .recording(),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            )
+            .with_migration(5, 3, true)
+            .tracing()
+            .recording(),
         );
         assert!(s.migrations > 0);
         assert!(!s.trace.is_empty());

@@ -191,12 +191,7 @@ impl RunStats {
         for (i, &count) in self.miss_latency_hist.bucket_counts().iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return Some(
-                    LATENCY_BUCKETS
-                        .get(i)
-                        .copied()
-                        .unwrap_or(u64::MAX),
-                );
+                return Some(LATENCY_BUCKETS.get(i).copied().unwrap_or(u64::MAX));
             }
         }
         Some(u64::MAX)

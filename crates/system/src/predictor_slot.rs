@@ -252,12 +252,7 @@ mod tests {
     #[test]
     fn sp_slot_exposes_stats() {
         let locks = shared_lock_table(2);
-        let slot = PredictorSlot::build(
-            &PredictorKind::sp_default(),
-            CoreId::new(0),
-            16,
-            &locks,
-        );
+        let slot = PredictorSlot::build(&PredictorKind::sp_default(), CoreId::new(0), 16, &locks);
         assert!(slot.sp_stats().is_some());
     }
 }

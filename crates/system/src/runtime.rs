@@ -108,7 +108,11 @@ impl LockRuntime {
         self.holder.insert(lock, core);
         let free_at = self.free_at.get(&lock).copied().unwrap_or(Cycle::ZERO);
         let prev = self.last_holder.get(&lock).copied();
-        let cost = if prev.is_some() { self.transfer_cost } else { 0 };
+        let cost = if prev.is_some() {
+            self.transfer_cost
+        } else {
+            0
+        };
         Acquire::Granted {
             at: time.max(free_at) + cost,
             prev_holder: prev,

@@ -2,7 +2,14 @@
 fn coherence_invariants_hold() {
     use spcp_system::*;
     let w = spcp_workloads::suite::x264().generate(16, 7);
-    for proto in [ProtocolKind::Directory, ProtocolKind::Broadcast, ProtocolKind::Predicted(PredictorKind::sp_default())] {
-        CmpSystem::run_workload_validated(&w, &RunConfig::new(MachineConfig::paper_16core(), proto));
+    for proto in [
+        ProtocolKind::Directory,
+        ProtocolKind::Broadcast,
+        ProtocolKind::Predicted(PredictorKind::sp_default()),
+    ] {
+        CmpSystem::run_workload_validated(
+            &w,
+            &RunConfig::new(MachineConfig::paper_16core(), proto),
+        );
     }
 }

@@ -4,8 +4,8 @@
 
 use spcp_mem::Addr;
 use spcp_noc::NocConfig;
-use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig, RunStats};
 use spcp_sync::{LockId, StaticSyncId, SyncPoint};
+use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig, RunStats};
 use spcp_workloads::{Op, Workload};
 
 fn ideal_machine() -> MachineConfig {
@@ -156,7 +156,11 @@ fn correct_prediction_matches_broadcast_latency() {
     let s = run(&w, ProtocolKind::Predicted(PredictorKind::sp_default()));
     // The two epochs repeat 3 times; instances 2 and 3 of the read epoch
     // predict {core0} from history.
-    assert!(s.pred_sufficient_comm >= 16, "predicted = {}", s.pred_sufficient_comm);
+    assert!(
+        s.pred_sufficient_comm >= 16,
+        "predicted = {}",
+        s.pred_sufficient_comm
+    );
     // Predicted reads complete in 14 cycles (like broadcast's 2-hop).
     assert_eq!(s.comm_miss_latency.min(), Some(14));
 }

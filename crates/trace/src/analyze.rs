@@ -246,10 +246,7 @@ mod tests {
         assert_eq!(a.epochs().len(), 2);
         assert_eq!(a.epochs()[0].total_volume(), 1);
         assert_eq!(a.epochs()[1].total_volume(), 2);
-        assert_eq!(
-            a.epochs()[1].hot_set(0.1),
-            CoreSet::from_bits(0b100)
-        );
+        assert_eq!(a.epochs()[1].hot_set(0.1), CoreSet::from_bits(0b100));
     }
 
     #[test]
@@ -261,10 +258,7 @@ mod tests {
 
     #[test]
     fn per_core_epoch_streams_are_independent() {
-        let a = TraceAnalyzer::from_events(
-            4,
-            &[sync(0, 1, 0), sync(1, 1, 0), miss(1, 0b1)],
-        );
+        let a = TraceAnalyzer::from_events(4, &[sync(0, 1, 0), sync(1, 1, 0), miss(1, 0b1)]);
         assert_eq!(a.epochs().len(), 2);
         assert_eq!(a.epochs()[0].total_volume(), 0);
         assert_eq!(a.epochs()[1].total_volume(), 1);

@@ -100,10 +100,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<TraceEvent, ParseTraceError> 
             let core = core
                 .parse::<usize>()
                 .map_err(|_| err(format!("bad core '{core}'")))?;
-            let block = u64::from_str_radix(block, 16)
-                .map_err(|_| err(format!("bad block '{block}'")))?;
-            let pc =
-                u32::from_str_radix(pc, 16).map_err(|_| err(format!("bad pc '{pc}'")))?;
+            let block =
+                u64::from_str_radix(block, 16).map_err(|_| err(format!("bad block '{block}'")))?;
+            let pc = u32::from_str_radix(pc, 16).map_err(|_| err(format!("bad pc '{pc}'")))?;
             let kind = match *kind {
                 "R" => AccessKind::Read,
                 "W" => AccessKind::Write,
@@ -216,10 +215,7 @@ mod tests {
             encode_line(&miss(3, 0x1000, 0b101, AccessKind::Write)),
             "M 3 1000 4a0 W 5"
         );
-        assert_eq!(
-            encode_line(&sync(7, SyncKind::Lock, 9, 2)),
-            "S 7 lock 9 2"
-        );
+        assert_eq!(encode_line(&sync(7, SyncKind::Lock, 9, 2)), "S 7 lock 9 2");
     }
 
     #[test]

@@ -123,10 +123,7 @@ impl BenchmarkSpec {
                         // private work: stream cold blocks. Real code
                         // interleaves all three, so shuffle them together
                         // (block sets are disjoint, so order is free).
-                        let producers =
-                            epoch
-                                .pattern
-                                .producers(core, instance, num_cores, rng);
+                        let producers = epoch.pattern.producers(core, instance, num_cores, rng);
                         assert!(
                             epoch.shared_reads as u64 <= SHARED_BLOCKS_PER_CORE,
                             "epoch reads more blocks than a stripe holds"
@@ -181,7 +178,8 @@ impl BenchmarkSpec {
                         // Critical sections on migratory lock data.
                         if let Some(cs) = epoch.cs {
                             for _ in 0..cs.sections {
-                                let lock_id = cs.lock_base + rng.index(cs.num_locks as usize) as u32;
+                                let lock_id =
+                                    cs.lock_base + rng.index(cs.num_locks as usize) as u32;
                                 let lock = LockId::new(lock_id);
                                 // Threads reach the lock after varying
                                 // amounts of local work, so acquisition
@@ -205,7 +203,6 @@ impl BenchmarkSpec {
                                 ops.push(Op::Sync(SyncPoint::unlock(lock)));
                             }
                         }
-
                     }
                 }
             }

@@ -39,7 +39,10 @@ pub const PRIVATE_STRIDE: u64 = 0x0100_0000;
 ///
 /// Panics if `idx` is outside the stripe.
 pub fn shared_block(owner: CoreId, idx: u64) -> Addr {
-    assert!(idx < SHARED_BLOCKS_PER_CORE, "shared stripe index out of range");
+    assert!(
+        idx < SHARED_BLOCKS_PER_CORE,
+        "shared stripe index out of range"
+    );
     Addr::new(SHARED_BASE + (owner.index() as u64 * SHARED_BLOCKS_PER_CORE + idx) * BLOCK_BYTES)
 }
 

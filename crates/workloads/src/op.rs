@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert_eq!(
-            Op::Store { addr: Addr::new(0), pc: 1 }.to_string(),
+            Op::Store {
+                addr: Addr::new(0),
+                pc: 1
+            }
+            .to_string(),
             "ST 0x0 @0x1"
         );
         assert_eq!(Op::Compute(3).to_string(), "COMPUTE 3");

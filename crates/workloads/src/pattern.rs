@@ -91,9 +91,9 @@ impl SharingPattern {
                 }
                 vec![CoreId::new(p)]
             }
-            SharingPattern::WidelyShared { producers } => (0..producers.min(n - 1))
-                .map(|i| wrap(1 + i))
-                .collect(),
+            SharingPattern::WidelyShared { producers } => {
+                (0..producers.min(n - 1)).map(|i| wrap(1 + i)).collect()
+            }
             SharingPattern::PrivateOnly => Vec::new(),
             SharingPattern::Mixed { offset } => {
                 let stable = wrap(offset.max(1));
@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn repetitive_cycles_with_period() {
-        let p = SharingPattern::Repetitive { stride: 2, period: 3 };
+        let p = SharingPattern::Repetitive {
+            stride: 2,
+            period: 3,
+        };
         let mut r = rng();
         let seq: Vec<usize> = (0..6)
             .map(|k| p.producers(CoreId::new(0), k, 16, &mut r)[0].index())

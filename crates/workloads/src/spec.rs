@@ -178,8 +178,7 @@ impl BenchmarkSpec {
         self.phases
             .iter()
             .map(|p| {
-                p.iterations as u64
-                    * p.epochs.iter().map(|e| e.ops_per_instance()).sum::<u64>()
+                p.iterations as u64 * p.epochs.iter().map(|e| e.ops_per_instance()).sum::<u64>()
             })
             .sum()
     }
@@ -205,10 +204,7 @@ mod tests {
                     ],
                     10,
                 ),
-                Phase::new(
-                    vec![EpochSpec::new(3, SharingPattern::Neighbor)],
-                    5,
-                ),
+                Phase::new(vec![EpochSpec::new(3, SharingPattern::Neighbor)], 5),
             ],
             seed_salt: 7,
             paper_comm_ratio: 0.6,

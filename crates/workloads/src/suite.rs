@@ -35,9 +35,14 @@ pub fn fmm() -> BenchmarkSpec {
     // Tree upward pass: stable partners, direction A.
     phases.push(Phase::new(
         epochs(1, 8, |id, i| {
-            EpochSpec::new(id, Stable { offset: 1 + (i as usize % 4) })
-                .traffic(48, 48)
-                .private(16)
+            EpochSpec::new(
+                id,
+                Stable {
+                    offset: 1 + (i as usize % 4),
+                },
+            )
+            .traffic(48, 48)
+            .private(16)
         }),
         3,
     ));
@@ -45,11 +50,14 @@ pub fn fmm() -> BenchmarkSpec {
     // plus lock-protected accumulation.
     phases.push(Phase::new(
         epochs(9, 12, |id, i| {
-            EpochSpec::new(id, StableSwitch {
-                first: 2,
-                second: 8,
-                switch_at: 1,
-            })
+            EpochSpec::new(
+                id,
+                StableSwitch {
+                    first: 2,
+                    second: 8,
+                    switch_at: 1,
+                },
+            )
             .traffic(40, 40)
             .private(16)
             .critical_sections(CsSpec {
@@ -76,15 +84,20 @@ pub fn lu() -> BenchmarkSpec {
         name: "lu",
         phases: vec![Phase::new(
             epochs(1, 5, |id, i| {
-                EpochSpec::new(id, Stable { offset: 1 + i as usize })
-                    .traffic(16, 16)
-                    .private(96)
-                    .critical_sections(CsSpec {
-                        lock_base: 0,
-                        num_locks: if i == 0 { 7 } else { 1 },
-                        sections: if i == 0 { 1 } else { 0 },
-                        accesses: 4,
-                    })
+                EpochSpec::new(
+                    id,
+                    Stable {
+                        offset: 1 + i as usize,
+                    },
+                )
+                .traffic(16, 16)
+                .private(96)
+                .critical_sections(CsSpec {
+                    lock_base: 0,
+                    num_locks: if i == 0 { 7 } else { 1 },
+                    sections: if i == 0 { 1 } else { 0 },
+                    accesses: 4,
+                })
             }),
             7,
         )],
@@ -99,10 +112,13 @@ pub fn ocean() -> BenchmarkSpec {
     let mut phases = Vec::new();
     phases.push(Phase::new(
         epochs(1, 10, |id, i| {
-            EpochSpec::new(id, Repetitive {
-                stride: 1 + i as usize % 2,
-                period: 2,
-            })
+            EpochSpec::new(
+                id,
+                Repetitive {
+                    stride: 1 + i as usize % 2,
+                    period: 2,
+                },
+            )
             .traffic(48, 48)
             .private(24)
             // Grid sweeps share the same stencil kernel code.
@@ -121,14 +137,15 @@ pub fn ocean() -> BenchmarkSpec {
     ));
     // 28 static critical sections (global reductions).
     phases.push(Phase::new(
-        vec![EpochSpec::new(21, Random).traffic(8, 8).private(8).critical_sections(
-            CsSpec {
+        vec![EpochSpec::new(21, Random)
+            .traffic(8, 8)
+            .private(8)
+            .critical_sections(CsSpec {
                 lock_base: 0,
                 num_locks: 28,
                 sections: 2,
                 accesses: 6,
-            },
-        )],
+            })],
         10,
     ));
     BenchmarkSpec {
@@ -198,7 +215,9 @@ pub fn cholesky() -> BenchmarkSpec {
                 let pattern = if i % 3 == 0 {
                     Random
                 } else {
-                    Stable { offset: 1 + i as usize % 5 }
+                    Stable {
+                        offset: 1 + i as usize % 5,
+                    }
                 };
                 EpochSpec::new(id, pattern)
                     .traffic(24, 24)
@@ -226,15 +245,20 @@ pub fn fft() -> BenchmarkSpec {
         phases: vec![
             Phase::new(
                 epochs(1, 6, |id, i| {
-                    EpochSpec::new(id, WidelyShared { producers: 4 + i as usize })
-                        .traffic(64, 64)
-                        .private(72)
-                        .critical_sections(CsSpec {
-                            lock_base: i % 8,
-                            num_locks: 1,
-                            sections: 1,
-                            accesses: 4,
-                        })
+                    EpochSpec::new(
+                        id,
+                        WidelyShared {
+                            producers: 4 + i as usize,
+                        },
+                    )
+                    .traffic(64, 64)
+                    .private(72)
+                    .critical_sections(CsSpec {
+                        lock_base: i % 8,
+                        num_locks: 1,
+                        sections: 1,
+                        accesses: 4,
+                    })
                 }),
                 2,
             ),
@@ -265,15 +289,20 @@ pub fn radix() -> BenchmarkSpec {
         name: "radix",
         phases: vec![Phase::new(
             epochs(1, 4, |id, i| {
-                EpochSpec::new(id, Stable { offset: 1 + i as usize * 2 })
-                    .traffic(10, 10)
-                    .private(110)
-                    .critical_sections(CsSpec {
-                        lock_base: (i * 2) % 8,
-                        num_locks: 2,
-                        sections: 1,
-                        accesses: 4,
-                    })
+                EpochSpec::new(
+                    id,
+                    Stable {
+                        offset: 1 + i as usize * 2,
+                    },
+                )
+                .traffic(10, 10)
+                .private(110)
+                .critical_sections(CsSpec {
+                    lock_base: (i * 2) % 8,
+                    num_locks: 2,
+                    sections: 1,
+                    accesses: 4,
+                })
             }),
             9,
         )],
@@ -312,24 +341,39 @@ pub fn bodytrack() -> BenchmarkSpec {
         epochs(1, 10, |id, i| {
             let pattern = match i % 3 {
                 0 => Stable { offset: 5 },
-                1 => StableSwitch { first: 5, second: 2, switch_at: 1 },
-                _ => Repetitive { stride: 3, period: 2 },
+                1 => StableSwitch {
+                    first: 5,
+                    second: 2,
+                    switch_at: 1,
+                },
+                _ => Repetitive {
+                    stride: 3,
+                    period: 2,
+                },
             };
-            EpochSpec::new(id, pattern).traffic(40, 40).private(28).noise(0.05)
+            EpochSpec::new(id, pattern)
+                .traffic(40, 40)
+                .private(28)
+                .noise(0.05)
         }),
         2,
     ));
     phases.push(Phase::new(
         epochs(11, 10, |id, i| {
-            EpochSpec::new(id, Stable { offset: 3 + i as usize % 3 })
-                .traffic(36, 36)
-                .private(24)
-                .critical_sections(CsSpec {
-                    lock_base: (i * 2) % 16,
-                    num_locks: 2,
-                    sections: 1,
-                    accesses: 6,
-                })
+            EpochSpec::new(
+                id,
+                Stable {
+                    offset: 3 + i as usize % 3,
+                },
+            )
+            .traffic(36, 36)
+            .private(24)
+            .critical_sections(CsSpec {
+                lock_base: (i * 2) % 16,
+                num_locks: 2,
+                sections: 1,
+                accesses: 6,
+            })
         }),
         2,
     ));
@@ -372,10 +416,13 @@ pub fn streamcluster() -> BenchmarkSpec {
         name: "streamcluster",
         phases: vec![Phase::new(
             epochs(1, 24, |id, i| {
-                let e = EpochSpec::new(id, Repetitive {
-                    stride: 1 + i as usize % 3,
-                    period: 2,
-                })
+                let e = EpochSpec::new(
+                    id,
+                    Repetitive {
+                        stride: 1 + i as usize % 3,
+                        period: 2,
+                    },
+                )
                 .traffic(52, 52)
                 .private(8)
                 // Shared kernel code across all sweep epochs.
@@ -405,15 +452,20 @@ pub fn vips() -> BenchmarkSpec {
         name: "vips",
         phases: vec![Phase::new(
             epochs(1, 8, |id, i| {
-                EpochSpec::new(id, Stable { offset: 1 + i as usize % 2 })
-                    .traffic(28, 28)
-                    .private(40)
-                    .critical_sections(CsSpec {
-                        lock_base: (i * 2) % 14,
-                        num_locks: 2,
-                        sections: 1,
-                        accesses: 4,
-                    })
+                EpochSpec::new(
+                    id,
+                    Stable {
+                        offset: 1 + i as usize % 2,
+                    },
+                )
+                .traffic(28, 28)
+                .private(40)
+                .critical_sections(CsSpec {
+                    lock_base: (i * 2) % 14,
+                    num_locks: 2,
+                    sections: 1,
+                    accesses: 4,
+                })
             }),
             3,
         )],
@@ -429,15 +481,20 @@ pub fn facesim() -> BenchmarkSpec {
         name: "facesim",
         phases: vec![Phase::new(
             epochs(1, 3, |id, i| {
-                EpochSpec::new(id, Stable { offset: 1 + i as usize * 4 })
-                    .traffic(40, 40)
-                    .private(28)
-                    .critical_sections(CsSpec {
-                        lock_base: i % 2,
-                        num_locks: 1,
-                        sections: 1,
-                        accesses: 4,
-                    })
+                EpochSpec::new(
+                    id,
+                    Stable {
+                        offset: 1 + i as usize * 4,
+                    },
+                )
+                .traffic(40, 40)
+                .private(28)
+                .critical_sections(CsSpec {
+                    lock_base: i % 2,
+                    num_locks: 1,
+                    sections: 1,
+                    accesses: 4,
+                })
             }),
             30,
         )],
@@ -502,15 +559,20 @@ pub fn x264() -> BenchmarkSpec {
         name: "x264",
         phases: vec![Phase::new(
             epochs(1, 3, |id, i| {
-                EpochSpec::new(id, Stable { offset: 1 + i as usize })
-                    .traffic(44, 44)
-                    .private(20)
-                    .critical_sections(CsSpec {
-                        lock_base: i % 2,
-                        num_locks: 1,
-                        sections: 1,
-                        accesses: 4,
-                    })
+                EpochSpec::new(
+                    id,
+                    Stable {
+                        offset: 1 + i as usize,
+                    },
+                )
+                .traffic(44, 44)
+                .private(20)
+                .critical_sections(CsSpec {
+                    lock_base: i % 2,
+                    num_locks: 1,
+                    sections: 1,
+                    accesses: 4,
+                })
             }),
             18,
         )],
@@ -671,8 +733,14 @@ mod tests {
         let base = x264();
         let big = scaled(x264(), 3);
         assert_eq!(big.static_epochs(), base.static_epochs());
-        assert_eq!(big.static_critical_sections(), base.static_critical_sections());
-        assert_eq!(big.dynamic_epochs_per_core(), 3 * base.dynamic_epochs_per_core());
+        assert_eq!(
+            big.static_critical_sections(),
+            base.static_critical_sections()
+        );
+        assert_eq!(
+            big.dynamic_epochs_per_core(),
+            3 * base.dynamic_epochs_per_core()
+        );
     }
 
     #[test]

@@ -49,8 +49,7 @@ impl std::error::Error for ParseSpecError {}
 fn parse_pattern(fields: &[&str], line: usize) -> Result<SharingPattern, ParseSpecError> {
     let err = |message: String| ParseSpecError { line, message };
     let num = |s: &str, what: &str| -> Result<usize, ParseSpecError> {
-        s.parse()
-            .map_err(|_| err(format!("bad {what} '{s}'")))
+        s.parse().map_err(|_| err(format!("bad {what} '{s}'")))
     };
     match fields {
         ["stable", o] => Ok(SharingPattern::Stable {
@@ -175,10 +174,9 @@ pub fn parse_spec(text: &str) -> Result<BenchmarkSpec, ParseSpecError> {
                 let nums: Vec<u32> = fields[1..]
                     .iter()
                     .map(|v| {
-                        let v = v.strip_prefix("0x").map_or_else(
-                            || v.parse::<u32>(),
-                            |hex| u32::from_str_radix(hex, 16),
-                        );
+                        let v = v
+                            .strip_prefix("0x")
+                            .map_or_else(|| v.parse::<u32>(), |hex| u32::from_str_radix(hex, 16));
                         v.map_err(|_| err("bad numeric argument".into()))
                     })
                     .collect::<Result<_, _>>()?;
@@ -343,8 +341,9 @@ end
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let spec = parse_spec("benchmark x # inline\n\n# full line\nphase 1\n  epoch 1 random\nend\n")
-            .unwrap();
+        let spec =
+            parse_spec("benchmark x # inline\n\n# full line\nphase 1\n  epoch 1 random\nend\n")
+                .unwrap();
         assert_eq!(spec.name, "x");
     }
 }

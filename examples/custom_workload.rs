@@ -27,11 +27,14 @@ fn tree_exchange() -> BenchmarkSpec {
             // sync-point separating the intervals exposes.
             Phase::new(
                 vec![
-                    EpochSpec::new(2, SharingPattern::StableSwitch {
-                        first: 4,
-                        second: 12,
-                        switch_at: 2,
-                    })
+                    EpochSpec::new(
+                        2,
+                        SharingPattern::StableSwitch {
+                            first: 4,
+                            second: 12,
+                            switch_at: 2,
+                        },
+                    )
                     .traffic(64, 64)
                     .private(16),
                     // A reduction epoch with a contended accumulator lock.
@@ -71,13 +74,13 @@ fn main() {
     );
     let sp = CmpSystem::run_workload(
         &workload,
-        &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+        &RunConfig::new(
+            machine,
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        ),
     );
 
-    println!(
-        "\ncommunicating misses: {:.1}%",
-        dir.comm_ratio() * 100.0
-    );
+    println!("\ncommunicating misses: {:.1}%", dir.comm_ratio() * 100.0);
     println!("SP accuracy: {:.1}%", sp.accuracy() * 100.0);
     let breakdown = sp.sp.expect("SP stats present");
     println!(

@@ -39,7 +39,13 @@ fn main() {
     for r in records.iter().take(40) {
         let hot = r.hot_set(0.10);
         let bits: String = (0..16)
-            .map(|i| if hot.contains(CoreId::new(i)) { 'X' } else { '.' })
+            .map(|i| {
+                if hot.contains(CoreId::new(i)) {
+                    'X'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!(
             "{:<26} {:>8} {:>9}  {}",

@@ -7,13 +7,13 @@
 //! cargo run --release --example predictor_shootout -- ocean
 //! ```
 
-use spcp::system::{
-    CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig,
-};
+use spcp::system::{CmpSystem, MachineConfig, OracleBook, PredictorKind, ProtocolKind, RunConfig};
 use spcp::workloads::suite;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "fluidanimate".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fluidanimate".into());
     let spec = suite::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark '{name}'; available:");
         for s in suite::all() {

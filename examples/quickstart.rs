@@ -30,7 +30,10 @@ fn main() {
     // 3. ...and again with SP-prediction plugged into each L2 controller.
     let sp = CmpSystem::run_workload(
         &workload,
-        &RunConfig::new(machine, ProtocolKind::Predicted(PredictorKind::sp_default())),
+        &RunConfig::new(
+            machine,
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        ),
     );
 
     // 4. Compare.

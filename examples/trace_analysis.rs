@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = TraceAnalyzer::from_events(16, &events);
     println!("\ntrace-driven characterization:");
     println!("  misses               {}", a.total_misses());
-    println!(
-        "  communicating        {:.1}%",
-        a.comm_ratio() * 100.0
-    );
+    println!("  communicating        {:.1}%", a.comm_ratio() * 100.0);
     println!("  dynamic epochs/core  {:.1}", a.dynamic_epochs_per_core());
     let dist = a.hot_set_size_distribution(0.10);
     let total: u64 = dist.iter().sum::<u64>().max(1);

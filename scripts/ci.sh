@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 verify, full workspace
+# tests (including the golden regression set). Never touches the
+# network; missing optional toolchain components are skipped with a
+# notice rather than failing the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "rustfmt check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+step "clippy (spcp-harness, -D warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy -p spcp-harness --all-targets --offline -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+step "tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+step "full workspace build + tests (bench binaries, CLI, golden checks)"
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+
+step "golden snapshot verify"
+cargo test -q --offline --test golden_regression
+
+echo
+echo "CI passed."

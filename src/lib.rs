@@ -10,16 +10,19 @@
 //! * [`baselines`] — ADDR / INST / UNI comparison predictors;
 //! * [`workloads`] — the 17 synthetic benchmark models;
 //! * [`trace`] — miss/sync-point traces + trace-driven characterization;
-//! * [`system`] — the 16-core CMP timing simulator tying it all together.
+//! * [`system`] — the 16-core CMP timing simulator tying it all together;
+//! * [`harness`] — parallel sweep engine + golden-snapshot regression
+//!   support (see `docs/HARNESS.md`).
 
 #![warn(missing_docs)]
 
 pub use spcp_baselines as baselines;
 pub use spcp_core as predict;
+pub use spcp_harness as harness;
 pub use spcp_mem as mem;
 pub use spcp_noc as noc;
 pub use spcp_sim as sim;
 pub use spcp_sync as sync;
-pub use spcp_trace as trace;
 pub use spcp_system as system;
+pub use spcp_trace as trace;
 pub use spcp_workloads as workloads;

@@ -11,7 +11,9 @@ fn machine() -> MachineConfig {
 }
 
 fn run(name: &str, proto: ProtocolKind) -> RunStats {
-    let w = suite::by_name(name).expect("known benchmark").generate(16, 7);
+    let w = suite::by_name(name)
+        .expect("known benchmark")
+        .generate(16, 7);
     CmpSystem::run_workload(&w, &RunConfig::new(machine(), proto))
 }
 
@@ -34,8 +36,14 @@ fn validated_runs_for_every_protocol_and_a_mix_of_benchmarks() {
 
 #[test]
 fn whole_pipeline_is_deterministic_per_seed() {
-    let a = run("ferret", ProtocolKind::Predicted(PredictorKind::sp_default()));
-    let b = run("ferret", ProtocolKind::Predicted(PredictorKind::sp_default()));
+    let a = run(
+        "ferret",
+        ProtocolKind::Predicted(PredictorKind::sp_default()),
+    );
+    let b = run(
+        "ferret",
+        ProtocolKind::Predicted(PredictorKind::sp_default()),
+    );
     assert_eq!(a.exec_cycles, b.exec_cycles);
     assert_eq!(a.noc.byte_hops, b.noc.byte_hops);
     assert_eq!(a.pred_sufficient_comm, b.pred_sufficient_comm);
@@ -114,11 +122,17 @@ fn oracle_bounds_sp_accuracy_from_above() {
         let book = OracleBook::from_records(&rec.epoch_records, 0.10);
         let oracle = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::Oracle(book))),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::Oracle(book)),
+            ),
         );
         let sp = CmpSystem::run_workload(
             &w,
-            &RunConfig::new(machine(), ProtocolKind::Predicted(PredictorKind::sp_default())),
+            &RunConfig::new(
+                machine(),
+                ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ),
         );
         assert!(
             oracle.accuracy() >= sp.accuracy() - 0.05,
@@ -152,7 +166,11 @@ fn high_and_low_sharing_benchmarks_are_ordered() {
     let radix = run("radix", ProtocolKind::Directory);
     let stream = run("streamcluster", ProtocolKind::Directory);
     assert!(radix.comm_ratio() < 0.4, "radix = {}", radix.comm_ratio());
-    assert!(stream.comm_ratio() > 0.7, "streamcluster = {}", stream.comm_ratio());
+    assert!(
+        stream.comm_ratio() > 0.7,
+        "streamcluster = {}",
+        stream.comm_ratio()
+    );
 }
 
 #[test]

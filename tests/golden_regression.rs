@@ -1,0 +1,96 @@
+//! Golden-snapshot regression tests: 3 benchmarks × 4 protocols at the
+//! fixed figure seed, snapshotted under `tests/golden/`. Any change to
+//! simulator behavior shows up as a precise line diff.
+//!
+//! Regenerate after an intentional behavior change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_regression
+//! ```
+
+use std::path::PathBuf;
+
+use spcp::harness::{golden, RunMatrix, SweepEngine};
+use spcp::system::{PredictorKind, ProtocolKind};
+use spcp::workloads::suite;
+
+const GOLDEN_BENCHES: [&str; 3] = ["fft", "lu", "x264"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_matrix(bench: &str) -> RunMatrix {
+    RunMatrix::new()
+        .bench(suite::by_name(bench).expect("known benchmark"))
+        .protocol("dir", ProtocolKind::Directory)
+        .protocol("bc", ProtocolKind::Broadcast)
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .protocol("uni", ProtocolKind::Predicted(PredictorKind::Uni))
+}
+
+fn check_bench(bench: &str) {
+    let result = SweepEngine::new(2).run(&golden_matrix(bench));
+    assert_eq!(result.runs.len(), 4);
+    let rendered = golden::render(&result);
+    let path = golden_dir().join(format!("{bench}.golden"));
+    match golden::check_or_update(&path, &rendered) {
+        Ok(updated) => {
+            if updated {
+                println!("regenerated {}", path.display());
+            }
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[test]
+fn golden_fft() {
+    check_bench(GOLDEN_BENCHES[0]);
+}
+
+#[test]
+fn golden_lu() {
+    check_bench(GOLDEN_BENCHES[1]);
+}
+
+#[test]
+fn golden_x264() {
+    check_bench(GOLDEN_BENCHES[2]);
+}
+
+/// The golden files themselves stay well-formed: header line, one `[run …]`
+/// block per protocol, only `field = integer` payload lines.
+#[test]
+fn golden_files_are_well_formed() {
+    for bench in GOLDEN_BENCHES {
+        let path = golden_dir().join(format!("{bench}.golden"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            // Missing files are reported by the per-bench tests (or being
+            // created right now under UPDATE_GOLDEN=1); don't double-fail.
+            Err(_) => continue,
+        };
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(golden::GOLDEN_HEADER), "{bench}");
+        let mut run_blocks = 0;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("[run ") && line.ends_with(']') {
+                run_blocks += 1;
+                continue;
+            }
+            let (field, value) = line.split_once(" = ").unwrap_or_else(|| {
+                panic!("{bench}: malformed line {line:?}");
+            });
+            assert!(!field.is_empty(), "{bench}");
+            assert!(
+                value.chars().all(|c| c.is_ascii_digit()),
+                "{bench}: non-integer value in {line:?}"
+            );
+        }
+        assert_eq!(run_blocks, 4, "{bench}: expected one block per protocol");
+    }
+}

@@ -1,0 +1,129 @@
+//! Parallel-determinism guarantees of the sweep engine: a ≥24-run matrix
+//! produces bit-identical per-run stats and merged summaries at `--jobs 1`,
+//! `--jobs 4` and `--jobs 8`, and summary merging is independent of worker
+//! scheduling order.
+
+use spcp::harness::{RunMatrix, SweepEngine, SweepResult, SweepSummary};
+use spcp::sim::DetRng;
+use spcp::system::{PredictorKind, ProtocolKind};
+use spcp::workloads::suite;
+
+/// 3 benchmarks × 4 protocols × 2 seeds = 24 runs.
+fn matrix_24() -> RunMatrix {
+    RunMatrix::new()
+        .bench(suite::by_name("fft").unwrap())
+        .bench(suite::by_name("radix").unwrap())
+        .bench(suite::by_name("lu").unwrap())
+        .protocol("dir", ProtocolKind::Directory)
+        .protocol("bc", ProtocolKind::Broadcast)
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .protocol("uni", ProtocolKind::Predicted(PredictorKind::Uni))
+        .seeds(&[7, 11])
+}
+
+fn assert_bit_identical(a: &SweepResult, b: &SweepResult) {
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (x, y) in a.runs.iter().zip(&b.runs) {
+        let id = x.spec.id();
+        assert_eq!(x.spec.id(), y.spec.id());
+        assert_eq!(
+            x.stats.exec_cycles, y.stats.exec_cycles,
+            "{id}: exec_cycles"
+        );
+        assert_eq!(
+            x.stats.noc.byte_hops, y.stats.noc.byte_hops,
+            "{id}: byte_hops"
+        );
+        assert_eq!(
+            x.stats.noc.ctrl_byte_hops, y.stats.noc.ctrl_byte_hops,
+            "{id}"
+        );
+        assert_eq!(
+            x.stats.predictions, y.stats.predictions,
+            "{id}: predictions"
+        );
+        assert_eq!(x.stats.pred_sufficient, y.stats.pred_sufficient, "{id}");
+        assert_eq!(x.stats.pred_insufficient, y.stats.pred_insufficient, "{id}");
+        assert_eq!(x.stats.indirections, y.stats.indirections, "{id}");
+        assert_eq!(x.stats.total_ops, y.stats.total_ops, "{id}: total_ops");
+        assert_eq!(x.stats.l2_misses, y.stats.l2_misses, "{id}: l2_misses");
+        assert_eq!(
+            x.stats.comm_misses, y.stats.comm_misses,
+            "{id}: comm_misses"
+        );
+    }
+    assert_eq!(a.summary(), b.summary());
+}
+
+#[test]
+fn jobs_1_4_8_are_bit_identical() {
+    let matrix = matrix_24();
+    assert_eq!(matrix.len(), 24);
+    let serial = SweepEngine::new(1).run(&matrix);
+    let four = SweepEngine::new(4).run(&matrix);
+    let eight = SweepEngine::new(8).run(&matrix);
+    assert_eq!(serial.jobs, 1);
+    assert_bit_identical(&serial, &four);
+    assert_bit_identical(&serial, &eight);
+
+    // The harness's own timing metrics must report a ≥3x speedup on a
+    // 4+-core machine. On smaller machines (e.g. a 1-core CI container)
+    // parallelism cannot help, so only check the metrics are present.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "serial: {}\n jobs8: {}  ({cores} cores available)",
+        serial.timing_line(),
+        eight.timing_line()
+    );
+    if cores >= 4 {
+        assert!(
+            eight.speedup() >= 3.0,
+            "expected >=3x speedup on a {cores}-core machine, got {:.2}x",
+            eight.speedup()
+        );
+    }
+    assert!(eight.speedup() > 0.0);
+    assert!(eight.throughput_ops_per_sec() > 0.0);
+}
+
+#[test]
+fn summary_merge_is_independent_of_worker_order() {
+    // Partition the matrix results as if different workers had finished in
+    // arbitrary orders, and check every merge order gives the same summary.
+    let result = SweepEngine::new(2).run(&matrix_24());
+    let reference = result.summary();
+
+    let mut rng = DetRng::seeded(42);
+    for trial in 0..10 {
+        // Random partition into up to 8 "worker" summaries.
+        let mut parts: Vec<SweepSummary> = (0..8).map(|_| SweepSummary::new()).collect();
+        for run in &result.runs {
+            parts[rng.index(8)].observe(&run.stats);
+        }
+        // Merge in a random order.
+        rng.shuffle(&mut parts);
+        let mut merged = SweepSummary::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, reference, "trial {trial}");
+    }
+}
+
+#[test]
+fn summary_reflects_run_count_and_ops() {
+    let result = SweepEngine::new(2).run(&matrix_24());
+    let summary = result.summary();
+    assert_eq!(summary.runs, 24);
+    let ops: u64 = result.runs.iter().map(|r| r.stats.total_ops).sum();
+    assert_eq!(summary.total_ops, ops);
+    assert!(summary.accuracy() > 0.0, "sp/uni runs must predict");
+    assert!(summary.noc_byte_hops > 0);
+    assert_eq!(
+        summary.miss_latency.count(),
+        summary.miss_latency_hist.total(),
+        "every miss latency sample is histogrammed"
+    );
+}

@@ -1,104 +1,159 @@
-//! Property-based tests on the core data structures and invariants,
+//! Randomized property tests on the core data structures and invariants,
 //! cross-checked against simple reference models.
+//!
+//! Inputs are driven by the workspace's own deterministic PRNG
+//! (`spcp::sim::DetRng`), so the suite runs fully offline and every case is
+//! reproducible from its printed case number.
 
-use proptest::prelude::*;
 use spcp::mem::{BlockAddr, CacheConfig, SetAssocCache, BLOCK_BYTES};
-use spcp::predict::CommCounters;
-use spcp::sim::{CoreId, CoreSet, Cycle, EventQueue};
 use spcp::noc::Mesh;
+use spcp::predict::CommCounters;
+use spcp::sim::{CoreId, CoreSet, Cycle, DetRng, EventQueue};
 
-proptest! {
-    // ---------------- CoreSet algebra ----------------
+/// Cases per randomized test.
+const CASES: u64 = 64;
+const PROP_SEED: u64 = 0x9d0b_5eed;
 
-    #[test]
-    fn coreset_union_superset_of_both(a: u64, b: u64) {
-        let (sa, sb) = (CoreSet::from_bits(a), CoreSet::from_bits(b));
+fn case_rng(test_salt: u64, case: u64) -> DetRng {
+    DetRng::seeded(PROP_SEED ^ test_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
+
+/// An arbitrary 64-bit value (both halves uniform).
+fn any_u64(rng: &mut DetRng) -> u64 {
+    (rng.range(0, 1 << 32) << 32) | rng.range(0, 1 << 32)
+}
+
+// ---------------- CoreSet algebra ----------------
+
+#[test]
+fn coreset_union_superset_of_both() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let (sa, sb) = (
+            CoreSet::from_bits(any_u64(&mut rng)),
+            CoreSet::from_bits(any_u64(&mut rng)),
+        );
         let u = sa.union(sb);
-        prop_assert!(u.is_superset(sa));
-        prop_assert!(u.is_superset(sb));
-        prop_assert_eq!(u, sb.union(sa));
+        assert!(u.is_superset(sa), "case {case}");
+        assert!(u.is_superset(sb), "case {case}");
+        assert_eq!(u, sb.union(sa), "case {case}");
     }
+}
 
-    #[test]
-    fn coreset_intersect_subset_of_both(a: u64, b: u64) {
-        let (sa, sb) = (CoreSet::from_bits(a), CoreSet::from_bits(b));
+#[test]
+fn coreset_intersect_subset_of_both() {
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        let (sa, sb) = (
+            CoreSet::from_bits(any_u64(&mut rng)),
+            CoreSet::from_bits(any_u64(&mut rng)),
+        );
         let i = sa.intersect(sb);
-        prop_assert!(sa.is_superset(i));
-        prop_assert!(sb.is_superset(i));
+        assert!(sa.is_superset(i), "case {case}");
+        assert!(sb.is_superset(i), "case {case}");
     }
+}
 
-    #[test]
-    fn coreset_len_matches_iteration(a: u64) {
-        let s = CoreSet::from_bits(a);
-        prop_assert_eq!(s.len(), s.iter().count());
+#[test]
+fn coreset_len_matches_iteration() {
+    for case in 0..CASES {
+        let mut rng = case_rng(12, case);
+        let s = CoreSet::from_bits(any_u64(&mut rng));
+        assert_eq!(s.len(), s.iter().count(), "case {case}");
         // Round trip through the iterator.
         let rebuilt: CoreSet = s.iter().collect();
-        prop_assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt, s, "case {case}");
     }
+}
 
-    #[test]
-    fn coreset_difference_disjoint_from_subtrahend(a: u64, b: u64) {
+#[test]
+fn coreset_difference_disjoint_from_subtrahend() {
+    for case in 0..CASES {
+        let mut rng = case_rng(13, case);
+        let (a, b) = (any_u64(&mut rng), any_u64(&mut rng));
         let d = CoreSet::from_bits(a).difference(CoreSet::from_bits(b));
-        prop_assert!(d.intersect(CoreSet::from_bits(b)).is_empty());
+        assert!(d.intersect(CoreSet::from_bits(b)).is_empty(), "case {case}");
     }
+}
 
-    // ---------------- Event queue ----------------
+// ---------------- Event queue ----------------
 
-    #[test]
-    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1000, 1..200)) {
+#[test]
+fn event_queue_pops_sorted() {
+    for case in 0..CASES {
+        let mut rng = case_rng(20, case);
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.range(0, 1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Cycle::new(t), i);
         }
         let mut last = Cycle::ZERO;
-        let mut n = 0;
+        let mut popped = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}");
             last = t;
-            n += 1;
+            popped += 1;
         }
-        prop_assert_eq!(n, times.len());
+        assert_eq!(popped, times.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn event_queue_equal_times_fifo(n in 1usize..100) {
+#[test]
+fn event_queue_equal_times_fifo() {
+    for case in 0..CASES {
+        let mut rng = case_rng(21, case);
+        let n = rng.range(1, 100) as usize;
         let mut q = EventQueue::new();
         for i in 0..n {
             q.push(Cycle::new(42), i);
         }
         for i in 0..n {
-            prop_assert_eq!(q.pop().map(|(_, x)| x), Some(i));
+            assert_eq!(q.pop().map(|(_, x)| x), Some(i), "case {case}");
         }
     }
+}
 
-    // ---------------- Mesh routing ----------------
+// ---------------- Mesh routing ----------------
 
-    #[test]
-    fn mesh_route_reaches_destination(w in 1usize..6, h in 1usize..6, s: u16, d: u16) {
+#[test]
+fn mesh_route_reaches_destination() {
+    for case in 0..CASES {
+        let mut rng = case_rng(30, case);
+        let w = rng.range(1, 6) as usize;
+        let h = rng.range(1, 6) as usize;
         let mesh = Mesh::new(w, h);
         let n = mesh.nodes();
-        let src = CoreId::new(s as usize % n);
-        let dst = CoreId::new(d as usize % n);
+        let src = CoreId::new(rng.index(n));
+        let dst = CoreId::new(rng.index(n));
         let route = mesh.route(src, dst);
-        prop_assert_eq!(route.len(), mesh.hops(src, dst));
-        // Hops satisfy the triangle equality for X-Y routing via any
-        // intermediate column point.
-        prop_assert_eq!(mesh.hops(src, dst), mesh.hops(dst, src));
+        assert_eq!(route.len(), mesh.hops(src, dst), "case {case}");
+        assert_eq!(mesh.hops(src, dst), mesh.hops(dst, src), "case {case}");
     }
+}
 
-    #[test]
-    fn mesh_hops_triangle_inequality(s: u16, m: u16, d: u16) {
+#[test]
+fn mesh_hops_triangle_inequality() {
+    for case in 0..CASES {
+        let mut rng = case_rng(31, case);
         let mesh = Mesh::new(4, 4);
-        let a = CoreId::new(s as usize % 16);
-        let b = CoreId::new(m as usize % 16);
-        let c = CoreId::new(d as usize % 16);
-        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+        let a = CoreId::new(rng.index(16));
+        let b = CoreId::new(rng.index(16));
+        let c = CoreId::new(rng.index(16));
+        assert!(
+            mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c),
+            "case {case}"
+        );
     }
+}
 
-    // ---------------- Set-associative cache vs reference model ----------------
+// ---------------- Set-associative cache vs reference model ----------------
 
-    #[test]
-    fn cache_agrees_with_reference_lru(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+#[test]
+fn cache_agrees_with_reference_lru() {
+    for case in 0..CASES {
+        let mut rng = case_rng(40, case);
+        let n_ops = rng.range(1, 300) as usize;
         // 2-way, 4-set cache against a per-set reference LRU list.
         let cfg = CacheConfig {
             size_bytes: 8 * BLOCK_BYTES,
@@ -109,7 +164,9 @@ proptest! {
         };
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(cfg);
         let mut reference: Vec<Vec<u64>> = vec![Vec::new(); 4]; // MRU at back
-        for (block, is_insert) in ops {
+        for _ in 0..n_ops {
+            let block = rng.range(0, 64);
+            let is_insert = rng.chance(0.5);
             let set = (block % 4) as usize;
             let b = BlockAddr::from_index(block);
             if is_insert {
@@ -125,7 +182,7 @@ proptest! {
                 let hit = cache.lookup(b).is_some();
                 let r = &mut reference[set];
                 let ref_hit = r.contains(&block);
-                prop_assert_eq!(hit, ref_hit, "block {}", block);
+                assert_eq!(hit, ref_hit, "case {case} block {block}");
                 if let Some(pos) = r.iter().position(|&x| x == block) {
                     let v = r.remove(pos);
                     r.push(v); // refresh recency
@@ -137,104 +194,125 @@ proptest! {
         let mut want: Vec<u64> = reference.into_iter().flatten().collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    // ---------------- Hot-set extraction ----------------
+// ---------------- Hot-set extraction ----------------
 
-    #[test]
-    fn hot_set_members_meet_threshold(
-        volumes in proptest::collection::vec(0u32..200, 16),
-        th in 0.01f64..0.5,
-    ) {
-        let mut c = CommCounters::new(16);
-        for (i, &v) in volumes.iter().enumerate() {
-            for _ in 0..v {
-                c.record(CoreId::new(i));
-            }
+fn random_counters(rng: &mut DetRng, max_volume: u64) -> CommCounters {
+    let mut c = CommCounters::new(16);
+    for i in 0..16 {
+        for _ in 0..rng.range(0, max_volume) {
+            c.record(CoreId::new(i));
         }
+    }
+    c
+}
+
+#[test]
+fn hot_set_members_meet_threshold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(50, case);
+        let c = random_counters(&mut rng, 200);
+        let th = 0.01 + rng.unit() * 0.49;
         let hot = c.hot_set(th, None);
         let total = c.total();
         for core in hot.iter() {
-            prop_assert!(
+            assert!(
                 c.volume(core) as f64 >= (total as f64 * th).ceil().max(1.0) - 0.5,
-                "member below threshold"
+                "case {case}: member below threshold"
             );
         }
         // Non-members are below threshold.
         for i in 0..16 {
             let core = CoreId::new(i);
             if !hot.contains(core) && total > 0 {
-                prop_assert!((c.volume(core) as u64) < ((total as f64 * th).ceil() as u64).max(1));
+                assert!(
+                    (c.volume(core) as u64) < ((total as f64 * th).ceil() as u64).max(1),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn hot_set_cap_keeps_hottest(volumes in proptest::collection::vec(0u32..100, 16)) {
-        let mut c = CommCounters::new(16);
-        for (i, &v) in volumes.iter().enumerate() {
-            for _ in 0..v {
-                c.record(CoreId::new(i));
-            }
-        }
+#[test]
+fn hot_set_cap_keeps_hottest() {
+    for case in 0..CASES {
+        let mut rng = case_rng(51, case);
+        let c = random_counters(&mut rng, 100);
         let capped = c.hot_set(0.05, Some(2));
-        prop_assert!(capped.len() <= 2);
+        assert!(capped.len() <= 2, "case {case}");
         let uncapped = c.hot_set(0.05, None);
-        prop_assert!(uncapped.is_superset(capped));
+        assert!(uncapped.is_superset(capped), "case {case}");
         // Every member of the capped set has volume >= every non-member of
         // the uncapped set that was dropped.
         for m in capped.iter() {
             for d in uncapped.difference(capped).iter() {
-                prop_assert!(c.volume(m) >= c.volume(d));
+                assert!(c.volume(m) >= c.volume(d), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn coverage_by_top_is_monotone(volumes in proptest::collection::vec(0u32..100, 16)) {
-        let mut c = CommCounters::new(16);
-        for (i, &v) in volumes.iter().enumerate() {
-            for _ in 0..v {
-                c.record(CoreId::new(i));
-            }
-        }
+#[test]
+fn coverage_by_top_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(52, case);
+        let c = random_counters(&mut rng, 100);
         let mut prev = 0.0;
         for k in 0..=16 {
             let cov = c.coverage_by_top(k);
-            prop_assert!(cov + 1e-12 >= prev);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&cov));
+            assert!(cov + 1e-12 >= prev, "case {case} k={k}");
+            assert!((0.0..=1.0 + 1e-12).contains(&cov), "case {case} k={k}");
             prev = cov;
         }
         if c.total() > 0 {
-            prop_assert!((c.coverage_by_top(16) - 1.0).abs() < 1e-9);
+            assert!((c.coverage_by_top(16) - 1.0).abs() < 1e-9, "case {case}");
         }
     }
 }
 
 // ---------------- Signature history ----------------
 
-proptest! {
-    #[test]
-    fn sig_history_keeps_newest_d(sigs in proptest::collection::vec(0u64..0xFFFF, 1..40), d in 1usize..5) {
+#[test]
+fn sig_history_keeps_newest_d() {
+    for case in 0..CASES {
+        let mut rng = case_rng(60, case);
+        let n = rng.range(1, 40) as usize;
+        let sigs: Vec<u64> = (0..n).map(|_| rng.range(0, 0xFFFF)).collect();
+        let d = rng.range(1, 5) as usize;
         let mut h = spcp::predict::SigHistory::new(d);
         for &s in &sigs {
             h.push(CoreSet::from_bits(s));
         }
-        prop_assert_eq!(h.len(), sigs.len().min(d));
-        prop_assert_eq!(h.newest(), Some(CoreSet::from_bits(*sigs.last().unwrap())));
+        assert_eq!(h.len(), sigs.len().min(d), "case {case}");
+        assert_eq!(
+            h.newest(),
+            Some(CoreSet::from_bits(*sigs.last().unwrap())),
+            "case {case}"
+        );
         if sigs.len() >= 2 && d >= 2 {
-            prop_assert_eq!(h.previous(), Some(CoreSet::from_bits(sigs[sigs.len() - 2])));
+            assert_eq!(
+                h.previous(),
+                Some(CoreSet::from_bits(sigs[sigs.len() - 2])),
+                "case {case}"
+            );
         }
-        // stable() is always a subset of the newest signature's union with
-        // the previous.
+        // stable() is always a subset of the union of the history.
         if let Some(st) = h.stable() {
-            prop_assert!(h.union().is_superset(st));
+            assert!(h.union().is_superset(st), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn stride2_flag_matches_definition(sigs in proptest::collection::vec(0u64..16, 3..30)) {
+#[test]
+fn stride2_flag_matches_definition() {
+    for case in 0..CASES {
+        let mut rng = case_rng(61, case);
+        let n = rng.range(3, 30) as usize;
+        let sigs: Vec<u64> = (0..n).map(|_| rng.range(0, 16)).collect();
         let mut h = spcp::predict::SigHistory::new(2);
         let mut expected = false;
         for (i, &s) in sigs.iter().enumerate() {
@@ -243,96 +321,119 @@ proptest! {
             }
             h.push(CoreSet::from_bits(s));
         }
-        prop_assert_eq!(h.stride2_detected(), expected);
+        assert_eq!(h.stride2_detected(), expected, "case {case}: {sigs:?}");
     }
 }
 
 // ---------------- NoC fabric ----------------
 
-proptest! {
-    #[test]
-    fn fabric_latency_monotone_in_departure_without_contention(
-        src in 0usize..16, dst in 0usize..16, t1 in 0u64..10_000, dt in 0u64..10_000,
-    ) {
-        use spcp::noc::{Fabric, MsgKind, NocConfig};
-        use spcp::sim::Cycle;
-        let mut f = Fabric::new(NocConfig { model_contention: false, ..NocConfig::default() });
+#[test]
+fn fabric_latency_monotone_in_departure_without_contention() {
+    use spcp::noc::{Fabric, MsgKind, NocConfig};
+    for case in 0..CASES {
+        let mut rng = case_rng(70, case);
+        let src = rng.index(16);
+        let dst = rng.index(16);
+        let t1 = rng.range(0, 10_000);
+        let dt = rng.range(0, 10_000);
+        let mut f = Fabric::new(NocConfig {
+            model_contention: false,
+            ..NocConfig::default()
+        });
         let a = f.send(
-            spcp::sim::CoreId::new(src), spcp::sim::CoreId::new(dst),
-            MsgKind::Request, Cycle::new(t1),
+            CoreId::new(src),
+            CoreId::new(dst),
+            MsgKind::Request,
+            Cycle::new(t1),
         );
         let b = f.send(
-            spcp::sim::CoreId::new(src), spcp::sim::CoreId::new(dst),
-            MsgKind::Request, Cycle::new(t1 + dt),
+            CoreId::new(src),
+            CoreId::new(dst),
+            MsgKind::Request,
+            Cycle::new(t1 + dt),
         );
         // Same route, later departure: arrival shifts by exactly dt.
-        prop_assert_eq!(b.as_u64() - a.as_u64(), dt);
+        assert_eq!(b.as_u64() - a.as_u64(), dt, "case {case}");
         // And arrival never precedes departure.
-        prop_assert!(a.as_u64() >= t1);
+        assert!(a.as_u64() >= t1, "case {case}");
     }
+}
 
-    #[test]
-    fn fabric_accounting_is_additive(
-        pairs in proptest::collection::vec((0usize..16, 0usize..16), 1..60),
-    ) {
-        use spcp::noc::{Fabric, Mesh, MsgKind, NocConfig};
-        use spcp::sim::Cycle;
+#[test]
+fn fabric_accounting_is_additive() {
+    use spcp::noc::{Fabric, MsgKind, NocConfig};
+    for case in 0..CASES {
+        let mut rng = case_rng(71, case);
+        let n = rng.range(1, 60) as usize;
+        let pairs: Vec<(usize, usize)> = (0..n).map(|_| (rng.index(16), rng.index(16))).collect();
         let mut f = Fabric::new(NocConfig::default());
         let mesh = Mesh::new(4, 4);
         let mut expected_hops = 0u64;
         for &(s, d) in &pairs {
             f.send(
-                spcp::sim::CoreId::new(s), spcp::sim::CoreId::new(d),
-                MsgKind::Request, Cycle::ZERO,
+                CoreId::new(s),
+                CoreId::new(d),
+                MsgKind::Request,
+                Cycle::ZERO,
             );
-            expected_hops += mesh.hops(spcp::sim::CoreId::new(s), spcp::sim::CoreId::new(d)) as u64;
+            expected_hops += mesh.hops(CoreId::new(s), CoreId::new(d)) as u64;
         }
         let stats = f.stats();
-        prop_assert_eq!(stats.messages, pairs.len() as u64);
-        prop_assert_eq!(stats.byte_hops, 8 * expected_hops);
-        prop_assert_eq!(stats.ctrl_byte_hops, stats.byte_hops, "requests are control-only");
+        assert_eq!(stats.messages, pairs.len() as u64, "case {case}");
+        assert_eq!(stats.byte_hops, 8 * expected_hops, "case {case}");
+        assert_eq!(
+            stats.ctrl_byte_hops, stats.byte_hops,
+            "case {case}: requests are control-only"
+        );
         // Energy: 5 units per byte-hop (link 1 + router 4).
-        prop_assert!((stats.energy - 5.0 * stats.byte_hops as f64).abs() < 1e-6);
+        assert!(
+            (stats.energy - 5.0 * stats.byte_hops as f64).abs() < 1e-6,
+            "case {case}"
+        );
     }
 }
 
 // ---------------- Trace analyzer vs raw event stream ----------------
 
-proptest! {
-    #[test]
-    fn trace_analyzer_counts_match_stream(
-        events in proptest::collection::vec((0usize..8, 0u64..4, any::<bool>()), 0..200),
-    ) {
-        use spcp::trace::{TraceAnalyzer, TraceEvent};
-        use spcp::sync::SyncKind;
-        let stream: Vec<TraceEvent> = events
-            .iter()
-            .map(|&(core, val, is_sync)| {
-                if is_sync {
+#[test]
+fn trace_analyzer_counts_match_stream() {
+    use spcp::sync::SyncKind;
+    use spcp::trace::{TraceAnalyzer, TraceEvent};
+    for case in 0..CASES {
+        let mut rng = case_rng(80, case);
+        let n = rng.range(0, 200) as usize;
+        let stream: Vec<TraceEvent> = (0..n)
+            .map(|_| {
+                let core = rng.index(8);
+                let val = rng.range(0, 4);
+                if rng.chance(0.5) {
                     TraceEvent::Sync {
-                        core: spcp::sim::CoreId::new(core),
+                        core: CoreId::new(core),
                         kind: SyncKind::Barrier,
                         static_id: val as u32 + 1,
                         instance: 0,
                     }
                 } else {
                     TraceEvent::Miss {
-                        core: spcp::sim::CoreId::new(core),
-                        block: spcp::mem::BlockAddr::from_index(val),
+                        core: CoreId::new(core),
+                        block: BlockAddr::from_index(val),
                         pc: 0,
                         kind: spcp::predict::AccessKind::Read,
-                        targets: spcp::sim::CoreSet::from_bits(val),
+                        targets: CoreSet::from_bits(val),
                     }
                 }
             })
             .collect();
         let a = TraceAnalyzer::from_events(8, &stream);
-        let misses = stream.iter().filter(|e| matches!(e, TraceEvent::Miss { .. })).count() as u64;
+        let misses = stream
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Miss { .. }))
+            .count() as u64;
         let comm = stream.iter().filter(|e| e.is_communicating_miss()).count() as u64;
         let syncs = stream.len() as u64 - misses;
-        prop_assert_eq!(a.total_misses(), misses);
-        prop_assert_eq!(a.comm_misses(), comm);
-        prop_assert_eq!(a.epochs().len() as u64, syncs);
+        assert_eq!(a.total_misses(), misses, "case {case}");
+        assert_eq!(a.comm_misses(), comm, "case {case}");
+        assert_eq!(a.epochs().len() as u64, syncs, "case {case}");
         // Attributed volume never exceeds total communication events.
         let attributed: u64 = a.epochs().iter().map(|e| e.total_volume()).sum();
         let total_targets: u64 = stream
@@ -342,31 +443,34 @@ proptest! {
                 _ => None,
             })
             .sum();
-        prop_assert!(attributed <= total_targets);
+        assert!(attributed <= total_targets, "case {case}");
     }
 }
 
 // ---------------- Workload generation ----------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn generation_deterministic_and_balanced(seed: u64) {
+#[test]
+fn generation_deterministic_and_balanced() {
+    for case in 0..8 {
+        let mut rng = case_rng(90, case);
+        let seed = any_u64(&mut rng);
         let spec = spcp::workloads::suite::x264();
         let a = spec.generate(16, seed);
         let b = spec.generate(16, seed);
-        prop_assert_eq!(a.threads(), b.threads());
+        assert_eq!(a.threads(), b.threads(), "seed {seed}");
         // All threads observe the same barrier count.
         let barriers: Vec<usize> = a
             .threads()
             .iter()
             .map(|t| {
                 t.iter()
-                    .filter(|o| matches!(o, spcp::workloads::Op::Sync(p)
-                        if p.kind == spcp::sync::SyncKind::Barrier))
+                    .filter(|o| {
+                        matches!(o, spcp::workloads::Op::Sync(p)
+                            if p.kind == spcp::sync::SyncKind::Barrier)
+                    })
                     .count()
             })
             .collect();
-        prop_assert!(barriers.windows(2).all(|w| w[0] == w[1]));
+        assert!(barriers.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
     }
 }

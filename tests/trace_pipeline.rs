@@ -8,7 +8,9 @@ use spcp::trace::{read_trace, write_trace, TraceAnalyzer, TraceEvent};
 use spcp::workloads::suite;
 
 fn traced_run(name: &str) -> spcp::system::RunStats {
-    let w = suite::by_name(name).expect("known benchmark").generate(16, 7);
+    let w = suite::by_name(name)
+        .expect("known benchmark")
+        .generate(16, 7);
     CmpSystem::run_workload(
         &w,
         &RunConfig::new(MachineConfig::paper_16core(), ProtocolKind::Directory)
