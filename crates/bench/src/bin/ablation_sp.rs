@@ -1,33 +1,165 @@
 //! Ablation sweeps for SP-prediction's design choices (DESIGN.md §5):
 //! hot-set threshold, history depth, stride-2 detection, confidence width,
 //! lock-entry sharing, and ADDR macroblock size.
+//!
+//! All (config × benchmark) cells plus the shared directory baseline run
+//! as one harness matrix fanned across `--jobs` workers; rows are then
+//! printed from the collected results in the original order.
 
-use spcp_bench::{header, mean, run};
+use spcp_bench::{header, jobs_arg, mean, SEED};
 use spcp_core::SpConfig;
-use spcp_system::{PredictorKind, ProtocolKind, RunStats};
+use spcp_harness::{RunMatrix, SweepEngine, SweepResult};
+use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
 /// A representative subset covering stable, repetitive, lock-heavy and
 /// random behaviours.
 const BENCHES: [&str; 5] = ["fmm", "ocean", "water-ns", "streamcluster", "dedup"];
 
-fn sweep(label: &str, cfg: SpConfig) {
+/// One output section: a header plus its rows (row label, SP config).
+struct Section {
+    title: &'static str,
+    rows: Vec<(String, SpConfig)>,
+}
+
+fn sections() -> Vec<Section> {
+    let mut out = Vec::new();
+    let cfg = SpConfig::default;
+
+    out.push(Section {
+        title: "hot-set extraction threshold:",
+        rows: [0.05, 0.10, 0.20]
+            .map(|th| {
+                (
+                    format!("  threshold = {th:.2}"),
+                    SpConfig {
+                        hot_threshold: th,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "hot-set size bound:",
+        rows: [None, Some(4), Some(2), Some(1)]
+            .map(|cap| {
+                (
+                    format!("  max hot set = {cap:?}"),
+                    SpConfig {
+                        max_hot_set: cap,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "history depth d:",
+        rows: [1usize, 2, 4]
+            .map(|d| {
+                (
+                    format!("  d = {d}"),
+                    SpConfig {
+                        history_depth: d,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "stride-2 pattern detection:",
+        rows: [true, false]
+            .map(|on| {
+                (
+                    format!("  stride2 = {on}"),
+                    SpConfig {
+                        stride2_detection: on,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "confidence counter width:",
+        rows: [2, 4, 6]
+            .map(|bits| {
+                (
+                    format!("  confidence bits = {bits}"),
+                    SpConfig {
+                        confidence_bits: bits,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "warm-up misses before d=0 extraction:",
+        rows: [10, 30, 100]
+            .map(|w| {
+                (
+                    format!("  warmup = {w}"),
+                    SpConfig {
+                        warmup_misses: w,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out.push(Section {
+        title: "SP-table organization (§4.6: fully- vs set-associative):",
+        rows: [
+            ("fully associative", None),
+            ("16 sets x 2 ways", Some((16usize, 2usize))),
+            ("8 sets x 2 ways", Some((8, 2))),
+            ("4 sets x 1 way", Some((4, 1))),
+        ]
+        .map(|(label, geom)| {
+            (
+                format!("  {label}"),
+                SpConfig {
+                    table_sets_ways: geom,
+                    ..cfg()
+                },
+            )
+        })
+        .into(),
+    });
+    out.push(Section {
+        title: "lock prediction unions the preceding epoch's signature:",
+        rows: [false, true]
+            .map(|on| {
+                (
+                    format!("  lock_union_preceding = {on}"),
+                    SpConfig {
+                        lock_union_preceding: on,
+                        ..cfg()
+                    },
+                )
+            })
+            .into(),
+    });
+    out
+}
+
+/// Prints one result row: 5-benchmark mean accuracy and bandwidth overhead
+/// of `label`'s runs relative to the shared directory baseline.
+fn report(result: &SweepResult, row: &str, label: &str) {
     let mut accs = Vec::new();
     let mut bws = Vec::new();
     for name in BENCHES {
-        let spec = suite::by_name(name).expect("known benchmark");
-        let dir = run(&spec, ProtocolKind::Directory, false);
-        let s: RunStats = run(
-            &spec,
-            ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
-            false,
-        );
+        let dir = &result.get(name, "dir", SEED).expect("baseline run").stats;
+        let s = &result.get(name, label, SEED).expect("ablation run").stats;
         accs.push(s.accuracy() * 100.0);
         bws.push((s.bandwidth() as f64 - dir.bandwidth() as f64) / dir.bandwidth() as f64 * 100.0);
     }
     println!(
         "{:<44} accuracy {:>5.1}%   +bandwidth {:>5.1}%",
-        label,
+        row,
         mean(accs),
         mean(bws)
     );
@@ -39,96 +171,26 @@ fn main() {
         "SP-prediction design-choice sweeps (5-benchmark averages)",
     );
 
-    println!("\nhot-set extraction threshold:");
-    for th in [0.05, 0.10, 0.20] {
-        sweep(
-            &format!("  threshold = {th:.2}"),
-            SpConfig {
-                hot_threshold: th,
-                ..SpConfig::default()
-            },
-        );
+    let sections = sections();
+    let mut matrix = RunMatrix::new().protocol("dir", ProtocolKind::Directory);
+    for name in BENCHES {
+        matrix = matrix.bench(suite::by_name(name).expect("known benchmark"));
     }
-
-    println!("\nhot-set size bound:");
-    for cap in [None, Some(4), Some(2), Some(1)] {
-        sweep(
-            &format!("  max hot set = {cap:?}"),
-            SpConfig {
-                max_hot_set: cap,
-                ..SpConfig::default()
-            },
-        );
+    for (si, sec) in sections.iter().enumerate() {
+        for (ri, (_, cfg)) in sec.rows.iter().enumerate() {
+            matrix = matrix.protocol(
+                format!("cfg{si}-{ri}"),
+                ProtocolKind::Predicted(PredictorKind::Sp(cfg.clone())),
+            );
+        }
     }
+    let result = SweepEngine::new(jobs_arg()).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
 
-    println!("\nhistory depth d:");
-    for d in [1usize, 2, 4] {
-        sweep(
-            &format!("  d = {d}"),
-            SpConfig {
-                history_depth: d,
-                ..SpConfig::default()
-            },
-        );
-    }
-
-    println!("\nstride-2 pattern detection:");
-    for on in [true, false] {
-        sweep(
-            &format!("  stride2 = {on}"),
-            SpConfig {
-                stride2_detection: on,
-                ..SpConfig::default()
-            },
-        );
-    }
-
-    println!("\nconfidence counter width:");
-    for bits in [2, 4, 6] {
-        sweep(
-            &format!("  confidence bits = {bits}"),
-            SpConfig {
-                confidence_bits: bits,
-                ..SpConfig::default()
-            },
-        );
-    }
-
-    println!("\nwarm-up misses before d=0 extraction:");
-    for w in [10, 30, 100] {
-        sweep(
-            &format!("  warmup = {w}"),
-            SpConfig {
-                warmup_misses: w,
-                ..SpConfig::default()
-            },
-        );
-    }
-
-    println!("\nSP-table organization (§4.6: fully- vs set-associative):");
-    for (label, geom) in [
-        ("fully associative", None),
-        ("16 sets x 2 ways", Some((16usize, 2usize))),
-        ("8 sets x 2 ways", Some((8, 2))),
-        ("4 sets x 1 way", Some((4, 1))),
-    ] {
-        sweep(
-            &format!("  {label}"),
-            SpConfig {
-                table_sets_ways: geom,
-                ..SpConfig::default()
-            },
-        );
-    }
-
-    println!("\nlock prediction unions the preceding epoch's signature:");
-    for on in [false, true] {
-        sweep(
-            &format!("  lock_union_preceding = {on}"),
-            SpConfig {
-                lock_union_preceding: on,
-                ..SpConfig::default()
-            },
-        );
+    for (si, sec) in sections.iter().enumerate() {
+        println!("\n{}", sec.title);
+        for (ri, (row, _)) in sec.rows.iter().enumerate() {
+            report(&result, row, &format!("cfg{si}-{ri}"));
+        }
     }
 }

@@ -2,16 +2,33 @@
 //! between cores, physical-target signatures go stale; tracking logical
 //! thread IDs and translating through the current mapping recovers the
 //! accuracy.
+//!
+//! Runs as one harness matrix (benchmarks × one SP protocol × three
+//! migration variants) fanned across `--jobs` workers.
 
-use spcp_bench::{header, mean, CORES, SEED};
-use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_bench::{header, jobs_arg, mean, SEED};
+use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
+
+const BENCHES: [&str; 5] = ["facesim", "water-sp", "x264", "ocean", "fluidanimate"];
 
 fn main() {
     header(
         "Extension: thread migration (§5.5)",
         "SP accuracy pinned vs migrating (physical-ID vs logical-ID signatures)",
     );
+    let mut matrix = RunMatrix::new()
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .variant("pinned", 0, 0, false)
+        .variant("migr-phys", 10, 1, false)
+        .variant("migr-log", 10, 1, true);
+    for name in BENCHES {
+        matrix = matrix.bench(suite::by_name(name).expect("known benchmark"));
+    }
+    let result = SweepEngine::new(jobs_arg()).run(&matrix);
+    eprintln!("[harness] {}", result.timing_line());
+
     println!(
         "{:<14} {:>9} {:>13} {:>13}",
         "benchmark", "pinned", "migr+physID", "migr+logID"
@@ -19,17 +36,16 @@ fn main() {
     let mut pinned_a = Vec::new();
     let mut phys_a = Vec::new();
     let mut log_a = Vec::new();
-    for name in ["facesim", "water-sp", "x264", "ocean", "fluidanimate"] {
-        let spec = suite::by_name(name).expect("known benchmark");
-        let w = spec.generate(CORES, SEED);
-        let machine = MachineConfig::paper_16core();
-        let base = RunConfig::new(
-            machine,
-            ProtocolKind::Predicted(PredictorKind::sp_default()),
-        );
-        let pinned = CmpSystem::run_workload(&w, &base);
-        let physical = CmpSystem::run_workload(&w, &base.clone().with_migration(10, 1, false));
-        let logical = CmpSystem::run_workload(&w, &base.clone().with_migration(10, 1, true));
+    for name in BENCHES {
+        let get = |variant: &str| {
+            &result
+                .get_variant(name, "sp", SEED, variant)
+                .expect("run present in matrix")
+                .stats
+        };
+        let pinned = get("pinned");
+        let physical = get("migr-phys");
+        let logical = get("migr-log");
         pinned_a.push(pinned.accuracy());
         phys_a.push(physical.accuracy());
         log_a.push(logical.accuracy());

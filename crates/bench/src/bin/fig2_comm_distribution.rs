@@ -35,7 +35,7 @@ fn main() {
 
     // (a) the whole execution.
     println!("\n(a) whole execution:");
-    print_volumes("core 0 volume", &stats.comm_matrix[0]);
+    print_volumes("core 0 volume", stats.comm_matrix.row(0));
 
     // (b) four consecutive sync-epoch instances with real activity.
     println!("\n(b) four consecutive sync-epochs:");

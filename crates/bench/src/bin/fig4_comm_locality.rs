@@ -38,7 +38,7 @@ fn granularity_distributions(stats: &RunStats) -> (Distributions, Distributions,
         .map(|r| r.volumes.iter().map(|&x| x as u64).collect())
         .collect();
     // Single-interval granularity: one distribution per core (whole run).
-    let whole: Vec<Vec<u64>> = stats.comm_matrix.clone();
+    let whole: Vec<Vec<u64>> = stats.comm_matrix.rows().map(|r| r.to_vec()).collect();
     // Static-instruction granularity: one distribution per load/store PC.
     let inst: Vec<Vec<u64>> = stats.pc_volumes.values().cloned().collect();
     (epoch, whole, inst)

@@ -28,6 +28,8 @@ USAGE:
   spcp sweep [--benches a,b,..] [--protocols p,q,..]
       [--seeds 7,11,..] [--jobs <n>]            parallel run matrix
       [--golden <file>] [--update-golden]       verify/write a golden snapshot
+      [--timing]                                per-run wall-clock + ops/s
+                                                report on stderr
   spcp characterize --bench <name> [--core <n>] sync-epoch hot sets
   spcp trace --bench <name> --out <file>        collect a miss/sync trace
   spcp analyze --trace <file> [--cores <n>]     characterize a trace file
@@ -183,7 +185,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         return Err("sweep matrix is empty".into());
     }
     let result = SweepEngine::new(jobs_arg(args)?).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
+    // Timing goes to stderr only: stdout (and golden files) must stay
+    // bit-identical across hosts and worker counts.
+    if args.flag("timing") {
+        eprint!("[harness] per-run timing\n{}", result.timing_report());
+    } else {
+        eprintln!("[harness] {}", result.timing_line());
+    }
 
     if let Some(path) = args.opt("golden") {
         let rendered = golden::render(&result);
@@ -336,14 +344,7 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         &workload,
         &RunConfig::new(MachineConfig::paper_16core(), protocol),
     );
-    let max = stats
-        .comm_matrix
-        .iter()
-        .flatten()
-        .copied()
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let max = stats.comm_matrix.max().max(1);
     // Log-ish shading so sparse rows stay visible.
     let shades = [' ', '.', ':', '+', '*', '#', '@'];
     println!("{bench}: communication volume, source rows x target columns");
@@ -351,7 +352,7 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         "      {}",
         (0..16).map(|i| format!("{i:>3}")).collect::<String>()
     );
-    for (src, row) in stats.comm_matrix.iter().enumerate() {
+    for (src, row) in stats.comm_matrix.rows().enumerate() {
         print!("  {src:>2} |");
         for &v in row {
             let shade = if v == 0 {

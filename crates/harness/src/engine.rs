@@ -29,6 +29,19 @@ pub struct RunResult {
     pub worker: usize,
 }
 
+impl RunResult {
+    /// Simulated memory accesses retired per wall-clock second for this
+    /// single run — the per-run analogue of
+    /// [`SweepResult::throughput_ops_per_sec`].
+    pub fn ops_per_sec(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.stats.total_ops as f64 / wall
+    }
+}
+
 /// All results of one sweep, in canonical matrix order.
 #[derive(Debug)]
 pub struct SweepResult {
@@ -72,6 +85,23 @@ impl SweepResult {
                 && r.spec.protocol_label == protocol_label
                 && r.spec.seed == seed
                 && r.spec.machine_label == machine_label
+        })
+    }
+
+    /// Looks up one run by bench, protocol, seed and variant label (any
+    /// machine). The neutral default variant has the empty label.
+    pub fn get_variant(
+        &self,
+        bench: &str,
+        protocol_label: &str,
+        seed: u64,
+        variant_label: &str,
+    ) -> Option<&RunResult> {
+        self.runs.iter().find(|r| {
+            r.spec.bench.name == bench
+                && r.spec.protocol_label == protocol_label
+                && r.spec.seed == seed
+                && r.spec.variant.label == variant_label
         })
     }
 
@@ -121,6 +151,34 @@ impl SweepResult {
             self.speedup(),
             self.throughput_ops_per_sec(),
         )
+    }
+
+    /// Multi-line per-run timing report: one `id | wall | ops/s` row per
+    /// run in canonical order, closed by the [`Self::timing_line`] totals.
+    ///
+    /// Timing is measurement metadata, not simulation output: it never
+    /// feeds [`Self::summary`] or golden snapshots, so reports vary run to
+    /// run while the statistics stay bit-identical.
+    pub fn timing_report(&self) -> String {
+        let mut out = String::new();
+        let id_width = self
+            .runs
+            .iter()
+            .map(|r| r.spec.id().len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:<id_width$}  {:>9.3}s  {:>12.0} ops/s\n",
+                r.spec.id(),
+                r.wall.as_secs_f64(),
+                r.ops_per_sec(),
+            ));
+        }
+        out.push_str(&self.timing_line());
+        out.push('\n');
+        out
     }
 }
 
@@ -273,6 +331,13 @@ mod tests {
         assert!(result.speedup() > 0.0);
         assert!(result.throughput_ops_per_sec() > 0.0);
         assert!(result.timing_line().contains("jobs=2"));
+        for r in &result.runs {
+            assert!(r.ops_per_sec() > 0.0);
+        }
+        let report = result.timing_report();
+        assert!(report.contains("fft/dir/seed7/paper16"));
+        assert!(report.contains("ops/s"));
+        assert!(report.ends_with('\n'));
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod matrix;
 pub mod summary;
 
 pub use engine::{RunResult, SweepEngine, SweepResult};
-pub use matrix::{MachineEntry, ProtocolEntry, RunMatrix, RunSpec};
+pub use matrix::{MachineEntry, ProtocolEntry, RunMatrix, RunSpec, VariantEntry};
 pub use summary::SweepSummary;

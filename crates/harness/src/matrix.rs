@@ -25,6 +25,39 @@ pub struct MachineEntry {
     pub config: MachineConfig,
 }
 
+/// A labelled run-scenario variant in a [`RunMatrix`]: the §5.5
+/// thread-migration knobs that apply on top of a (bench, protocol, seed,
+/// machine) cell.
+///
+/// The default matrix carries a single neutral variant whose label is
+/// empty, so [`RunSpec::id`] strings and golden snapshots of plain
+/// matrices are unaffected by this axis.
+#[derive(Debug, Clone)]
+pub struct VariantEntry {
+    /// Short stable label used in reports and lookups; empty for the
+    /// neutral default (pinned threads), in which case `id()` omits it.
+    pub label: String,
+    /// Rotate thread→core mappings every n-th barrier release (0 = never).
+    pub migrate_every: u64,
+    /// How many positions each migration rotates by.
+    pub migrate_rotation: usize,
+    /// Track logical thread IDs through the mapping (§5.5) instead of
+    /// physical core IDs.
+    pub logical_tracking: bool,
+}
+
+impl VariantEntry {
+    /// The neutral default: pinned threads, physical-ID tracking.
+    pub fn pinned() -> Self {
+        VariantEntry {
+            label: String::new(),
+            migrate_every: 0,
+            migrate_rotation: 0,
+            logical_tracking: false,
+        }
+    }
+}
+
 /// The declarative cross product an experiment sweeps over.
 ///
 /// A matrix is benchmarks × protocols × seeds × machines, plus run flags
@@ -54,6 +87,8 @@ pub struct RunMatrix {
     seeds: Vec<u64>,
     machines: Vec<MachineEntry>,
     machines_explicit: bool,
+    variants: Vec<VariantEntry>,
+    variants_explicit: bool,
     record: bool,
     validate: bool,
     snoop_filter: bool,
@@ -80,6 +115,8 @@ impl RunMatrix {
                 config: MachineConfig::paper_16core(),
             }],
             machines_explicit: false,
+            variants: vec![VariantEntry::pinned()],
+            variants_explicit: false,
             record: false,
             validate: false,
             snoop_filter: false,
@@ -127,6 +164,28 @@ impl RunMatrix {
         self
     }
 
+    /// Adds a labelled scenario variant (thread-migration knobs). The
+    /// first explicit variant replaces the implicit pinned default.
+    pub fn variant(
+        mut self,
+        label: impl Into<String>,
+        migrate_every: u64,
+        migrate_rotation: usize,
+        logical_tracking: bool,
+    ) -> Self {
+        if !self.variants_explicit {
+            self.variants.clear();
+            self.variants_explicit = true;
+        }
+        self.variants.push(VariantEntry {
+            label: label.into(),
+            migrate_every,
+            migrate_rotation,
+            logical_tracking,
+        });
+        self
+    }
+
     /// Enables epoch/volume recording on every run.
     pub fn recording(mut self) -> Self {
         self.record = true;
@@ -148,7 +207,11 @@ impl RunMatrix {
 
     /// Number of runs the matrix expands to.
     pub fn len(&self) -> usize {
-        self.benches.len() * self.protocols.len() * self.seeds.len() * self.machines.len()
+        self.benches.len()
+            * self.protocols.len()
+            * self.seeds.len()
+            * self.machines.len()
+            * self.variants.len()
     }
 
     /// True when the matrix expands to no runs.
@@ -158,27 +221,30 @@ impl RunMatrix {
 
     /// Flattens the matrix into executable [`RunSpec`]s.
     ///
-    /// The order is benchmark-major → protocol → seed → machine and is the
-    /// canonical run ordering: `RunSpec::index` positions are identical no
-    /// matter how many workers later execute them.
+    /// The order is benchmark-major → protocol → seed → machine → variant
+    /// and is the canonical run ordering: `RunSpec::index` positions are
+    /// identical no matter how many workers later execute them.
     pub fn expand(&self) -> Vec<RunSpec> {
         let mut specs = Vec::with_capacity(self.len());
         for bench in &self.benches {
             for proto in &self.protocols {
                 for &seed in &self.seeds {
                     for machine in &self.machines {
-                        specs.push(RunSpec {
-                            index: specs.len(),
-                            bench: bench.clone(),
-                            protocol_label: proto.label.clone(),
-                            protocol: proto.kind.clone(),
-                            seed,
-                            machine_label: machine.label.clone(),
-                            machine: machine.config.clone(),
-                            record: self.record,
-                            validate: self.validate,
-                            snoop_filter: self.snoop_filter,
-                        });
+                        for variant in &self.variants {
+                            specs.push(RunSpec {
+                                index: specs.len(),
+                                bench: bench.clone(),
+                                protocol_label: proto.label.clone(),
+                                protocol: proto.kind.clone(),
+                                seed,
+                                machine_label: machine.label.clone(),
+                                machine: machine.config.clone(),
+                                variant: variant.clone(),
+                                record: self.record,
+                                validate: self.validate,
+                                snoop_filter: self.snoop_filter,
+                            });
+                        }
                     }
                 }
             }
@@ -204,6 +270,8 @@ pub struct RunSpec {
     pub machine_label: String,
     /// The machine to simulate.
     pub machine: MachineConfig,
+    /// Scenario variant (thread-migration knobs) applied on top.
+    pub variant: VariantEntry,
     /// Record per-epoch sharing volumes.
     pub record: bool,
     /// Check coherence invariants after the run.
@@ -226,6 +294,13 @@ impl RunSpec {
         if self.snoop_filter {
             cfg = cfg.with_snoop_filter();
         }
+        if self.variant.migrate_every > 0 || self.variant.logical_tracking {
+            cfg = cfg.with_migration(
+                self.variant.migrate_every,
+                self.variant.migrate_rotation,
+                self.variant.logical_tracking,
+            );
+        }
         if self.validate {
             CmpSystem::run_workload_validated(&workload, &cfg)
         } else {
@@ -234,11 +309,20 @@ impl RunSpec {
     }
 
     /// A compact human-readable identifier, e.g. `fmm/dir/seed7/paper16`.
+    ///
+    /// Non-default scenario variants append their label
+    /// (`fmm/sp/seed7/paper16/migr-log`); the neutral pinned variant is
+    /// omitted so plain-matrix ids are stable across this axis.
     pub fn id(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/seed{}/{}",
             self.bench.name, self.protocol_label, self.seed, self.machine_label
-        )
+        );
+        if self.variant.label.is_empty() {
+            base
+        } else {
+            format!("{base}/{}", self.variant.label)
+        }
     }
 }
 
@@ -288,6 +372,48 @@ mod tests {
     #[test]
     fn empty_matrix_reports_empty() {
         assert!(RunMatrix::new().is_empty());
+    }
+
+    #[test]
+    fn variants_expand_innermost_and_tag_ids() {
+        let m = RunMatrix::new()
+            .bench(suite::by_name("fft").unwrap())
+            .protocol(
+                "sp",
+                ProtocolKind::Predicted(spcp_system::PredictorKind::sp_default()),
+            )
+            .variant("pin", 0, 0, false)
+            .variant("migr-phys", 10, 1, false)
+            .variant("migr-log", 10, 1, true);
+        assert_eq!(m.len(), 3);
+        let specs = m.expand();
+        assert_eq!(specs[0].id(), "fft/sp/seed7/paper16/pin");
+        assert_eq!(specs[1].id(), "fft/sp/seed7/paper16/migr-phys");
+        assert_eq!(specs[2].id(), "fft/sp/seed7/paper16/migr-log");
+        assert_eq!(specs[1].variant.migrate_every, 10);
+        assert!(specs[2].variant.logical_tracking);
+    }
+
+    #[test]
+    fn migration_variant_changes_execution() {
+        let m = RunMatrix::new()
+            .bench(suite::by_name("fft").unwrap())
+            .protocol("dir", ProtocolKind::Directory)
+            .variant("pin", 0, 0, false)
+            .variant("migr", 4, 1, false);
+        let specs = m.expand();
+        let pinned = specs[0].execute();
+        let migrated = specs[1].execute();
+        assert_eq!(pinned.migrations, 0);
+        assert!(migrated.migrations > 0, "migration variant must migrate");
+    }
+
+    #[test]
+    fn default_variant_is_neutral() {
+        let spec = &tiny_matrix().expand()[0];
+        assert!(spec.variant.label.is_empty());
+        assert_eq!(spec.variant.migrate_every, 0);
+        assert!(!spec.variant.logical_tracking);
     }
 
     #[test]

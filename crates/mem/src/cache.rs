@@ -109,9 +109,13 @@ impl<T> SetAssocCache<T> {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
+        // Full associativity up front: sets never grow, so the demand
+        // insert/evict path stays allocation-free for the whole run.
         SetAssocCache {
             cfg,
-            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            sets: (0..num_sets)
+                .map(|_| Vec::with_capacity(cfg.assoc))
+                .collect(),
             clock: 0,
             hits: 0,
             misses: 0,

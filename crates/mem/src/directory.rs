@@ -1,8 +1,7 @@
 //! Full-map distributed coherence directory.
 
 use crate::addr::BlockAddr;
-use spcp_sim::{CoreId, CoreSet};
-use std::collections::HashMap;
+use spcp_sim::{CoreId, CoreSet, FlatMap};
 
 /// The directory's view of one cache block.
 ///
@@ -51,6 +50,13 @@ impl DirEntry {
 /// [`BlockAddr::home`] for message routing while using one logical map,
 /// which is behaviourally identical and simpler to test.
 ///
+/// The map is an open-addressing [`FlatMap`] keyed by the block index:
+/// directory state is touched on every L2 miss and every eviction, so the
+/// per-access cost must be a single multiplicative hash and a short probe,
+/// with no steady-state heap traffic. Entries are removed when the last
+/// sharer drops, so the live set — and therefore the table size — is
+/// bounded by the machine's total cache capacity.
+///
 /// # Examples
 ///
 /// ```
@@ -65,7 +71,7 @@ impl DirEntry {
 #[derive(Debug, Clone)]
 pub struct Directory {
     num_tiles: usize,
-    entries: HashMap<BlockAddr, DirEntry>,
+    entries: FlatMap<DirEntry>,
 }
 
 impl Directory {
@@ -78,7 +84,7 @@ impl Directory {
         assert!(num_tiles > 0);
         Directory {
             num_tiles,
-            entries: HashMap::new(),
+            entries: FlatMap::new(),
         }
     }
 
@@ -95,14 +101,14 @@ impl Directory {
     /// The directory's current view of `block` (all-invalid when never
     /// referenced).
     pub fn entry(&self, block: BlockAddr) -> DirEntry {
-        self.entries.get(&block).copied().unwrap_or_default()
+        self.entries.get(block.index()).copied().unwrap_or_default()
     }
 
     /// Records that `core` obtained the block exclusively (E or M): it
     /// becomes owner and sole sharer.
     pub fn record_exclusive(&mut self, block: BlockAddr, core: CoreId) {
         self.entries.insert(
-            block,
+            block.index(),
             DirEntry {
                 owner: Some(core),
                 sharers: CoreSet::single(core),
@@ -114,7 +120,9 @@ impl Directory {
     /// sharer becomes the Forward-state owner for clean lines, so ownership
     /// transfers to `core`.
     pub fn record_shared(&mut self, block: BlockAddr, core: CoreId) {
-        let e = self.entries.entry(block).or_default();
+        let e = self
+            .entries
+            .get_or_insert_with(block.index(), DirEntry::default);
         e.sharers.insert(core);
         e.owner = Some(core);
     }
@@ -123,7 +131,9 @@ impl Directory {
     /// *without* clean forwarding (plain MESI): the line has no supplier —
     /// subsequent reads go to memory.
     pub fn record_shared_no_forward(&mut self, block: BlockAddr, core: CoreId) {
-        let e = self.entries.entry(block).or_default();
+        let e = self
+            .entries
+            .get_or_insert_with(block.index(), DirEntry::default);
         e.sharers.insert(core);
         e.owner = None;
     }
@@ -134,13 +144,13 @@ impl Directory {
     /// remaining sharer (which then forwards clean data), or to memory when
     /// none remain.
     pub fn record_drop(&mut self, block: BlockAddr, core: CoreId) {
-        if let Some(e) = self.entries.get_mut(&block) {
+        if let Some(e) = self.entries.get_mut(block.index()) {
             e.sharers.remove(core);
             if e.owner == Some(core) {
                 e.owner = e.sharers.iter().next();
             }
             if e.sharers.is_empty() {
-                self.entries.remove(&block);
+                self.entries.remove(block.index());
             }
         }
     }
@@ -153,7 +163,9 @@ impl Directory {
     /// Iterates over every tracked `(block, entry)` pair in unspecified
     /// order (used by coherence-invariant validation).
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &DirEntry)> {
-        self.entries.iter().map(|(b, e)| (*b, e))
+        self.entries
+            .iter()
+            .map(|(i, e)| (BlockAddr::from_index(i), e))
     }
 }
 

@@ -4,7 +4,6 @@
 use crate::mesh::{Link, Mesh};
 use crate::message::MsgKind;
 use spcp_sim::{CoreId, Cycle};
-use std::collections::HashMap;
 
 /// Configuration of the mesh NoC (defaults = Table 4 of the paper).
 ///
@@ -126,21 +125,35 @@ impl NocStats {
 pub struct Fabric {
     mesh: Mesh,
     cfg: NocConfig,
+    /// Virtual channels per directed link (`cfg.virtual_channels.max(1)`,
+    /// cached for the indexing math below).
+    vcs: usize,
     /// Next cycle at which each virtual channel of each directed link is
-    /// free.
-    link_free: HashMap<Link, Vec<Cycle>>,
+    /// free. The directed links of a mesh are a small dense set — at most
+    /// 4 per node — so reservations live in one flat array indexed by
+    /// `(node × 4 + direction) × vcs + vc`: no hashing, no per-link heap
+    /// allocation, and `reset` is a `fill`.
+    link_free: Vec<Cycle>,
     stats: NocStats,
 }
 
 impl Fabric {
     /// Creates a fabric from a configuration.
     pub fn new(cfg: NocConfig) -> Self {
+        let vcs = cfg.virtual_channels.max(1);
         Fabric {
             mesh: Mesh::new(cfg.width, cfg.height),
+            vcs,
+            link_free: vec![Cycle::ZERO; cfg.nodes() * 4 * vcs],
             cfg,
-            link_free: HashMap::new(),
             stats: NocStats::default(),
         }
+    }
+
+    /// Start of `link`'s VC slot range inside `link_free`.
+    #[inline]
+    fn link_base(&self, link: Link) -> usize {
+        (link.from * 4 + link.dir.index()) * self.vcs
     }
 
     /// The underlying topology.
@@ -161,7 +174,7 @@ impl Fabric {
     /// Resets statistics and link reservations (used between measurement
     /// phases).
     pub fn reset(&mut self) {
-        self.link_free.clear();
+        self.link_free.fill(Cycle::ZERO);
         self.stats = NocStats::default();
     }
 
@@ -184,7 +197,7 @@ impl Fabric {
             return depart;
         }
 
-        let route = self.mesh.route(src, dst);
+        let route = self.mesh.route_iter(src, dst);
         let hops = route.len() as u64;
         self.stats.byte_hops += bytes * hops;
         if !kind.carries_data() {
@@ -196,17 +209,14 @@ impl Fabric {
             * (self.cfg.link_energy_per_byte + self.cfg.router_energy_per_byte);
 
         let flits = self.flits(bytes);
-        let vcs = self.cfg.virtual_channels.max(1);
         let mut head = depart;
         for link in route {
             // Router pipeline for the head flit.
             head += self.cfg.router_cycles;
             if self.cfg.model_contention {
-                let slots = self
-                    .link_free
-                    .entry(link)
-                    .or_insert_with(|| vec![Cycle::ZERO; vcs]);
-                // Grab the earliest-free virtual channel.
+                let base = self.link_base(link);
+                let slots = &mut self.link_free[base..base + self.vcs];
+                // Grab the earliest-free virtual channel (first on ties).
                 let slot = slots
                     .iter_mut()
                     .min_by_key(|c| **c)

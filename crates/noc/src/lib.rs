@@ -36,5 +36,5 @@ pub mod mesh;
 pub mod message;
 
 pub use fabric::{Fabric, NocConfig, NocStats};
-pub use mesh::{Coord, Mesh};
+pub use mesh::{Coord, Direction, Link, Mesh, RouteIter};
 pub use message::{Message, MsgKind};

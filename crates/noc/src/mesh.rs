@@ -139,35 +139,32 @@ impl Mesh {
     /// Enumerates the directed links of the X-Y route from `src` to `dst`.
     ///
     /// The route is empty when `src == dst`.
+    ///
+    /// Allocates; the timed fabric's per-message hot path uses
+    /// [`Mesh::route_iter`] instead.
     pub fn route(&self, src: CoreId, dst: CoreId) -> Vec<Link> {
-        let mut cur = self.coord_of(src);
-        let goal = self.coord_of(dst);
-        let mut links = Vec::with_capacity(self.hops(src, dst));
-        while cur.x != goal.x {
-            let dir = if goal.x > cur.x {
-                Direction::East
-            } else {
-                Direction::West
-            };
-            links.push(Link {
-                from: self.core_at(cur).index(),
-                dir,
-            });
-            cur.x = if goal.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        self.route_iter(src, dst).collect()
+    }
+
+    /// Iterator form of [`Mesh::route`]: walks the X-Y route lazily with
+    /// no heap allocation. Used by the fabric on every send.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spcp_noc::Mesh;
+    /// use spcp_sim::CoreId;
+    ///
+    /// let m = Mesh::new(4, 4);
+    /// let hops = m.route_iter(CoreId::new(0), CoreId::new(10)).count();
+    /// assert_eq!(hops, m.hops(CoreId::new(0), CoreId::new(10)));
+    /// ```
+    pub fn route_iter(&self, src: CoreId, dst: CoreId) -> RouteIter {
+        RouteIter {
+            cur: self.coord_of(src),
+            goal: self.coord_of(dst),
+            width: self.width,
         }
-        while cur.y != goal.y {
-            let dir = if goal.y > cur.y {
-                Direction::North
-            } else {
-                Direction::South
-            };
-            links.push(Link {
-                from: self.core_at(cur).index(),
-                dir,
-            });
-            cur.y = if goal.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-        }
-        links
     }
 
     /// Average hop distance over all ordered pairs of distinct nodes.
@@ -190,12 +187,74 @@ impl Mesh {
     }
 }
 
+/// Lazy X-Y route walker returned by [`Mesh::route_iter`].
+///
+/// Yields the directed links from the current position to the goal —
+/// first along the row, then along the column — without touching the
+/// heap.
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    cur: Coord,
+    goal: Coord,
+    width: usize,
+}
+
+impl Iterator for RouteIter {
+    type Item = Link;
+
+    fn next(&mut self) -> Option<Link> {
+        let from = self.cur.y * self.width + self.cur.x;
+        if self.cur.x != self.goal.x {
+            let dir = if self.goal.x > self.cur.x {
+                self.cur.x += 1;
+                Direction::East
+            } else {
+                self.cur.x -= 1;
+                Direction::West
+            };
+            Some(Link { from, dir })
+        } else if self.cur.y != self.goal.y {
+            let dir = if self.goal.y > self.cur.y {
+                self.cur.y += 1;
+                Direction::North
+            } else {
+                self.cur.y -= 1;
+                Direction::South
+            };
+            Some(Link { from, dir })
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cur.x.abs_diff(self.goal.x) + self.cur.y.abs_diff(self.goal.y);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RouteIter {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn mesh4() -> Mesh {
         Mesh::new(4, 4)
+    }
+
+    #[test]
+    fn route_iter_matches_route_exactly() {
+        let m = Mesh::new(5, 3);
+        for a in 0..15 {
+            for b in 0..15 {
+                let eager = m.route(CoreId::new(a), CoreId::new(b));
+                let it = m.route_iter(CoreId::new(a), CoreId::new(b));
+                assert_eq!(it.len(), eager.len());
+                let lazy: Vec<Link> = it.collect();
+                assert_eq!(lazy, eager, "{a} -> {b}");
+            }
+        }
     }
 
     #[test]

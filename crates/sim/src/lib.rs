@@ -26,12 +26,16 @@
 
 pub mod cycle;
 pub mod event;
+pub mod flatmap;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 
 pub use cycle::Cycle;
 pub use event::EventQueue;
+pub use flatmap::FlatMap;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, CoreSet};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, MeanAccumulator};

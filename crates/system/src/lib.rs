@@ -41,6 +41,6 @@ pub mod runtime;
 pub use config::{CoherenceVariant, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
 pub use filter::RegionTracker;
 pub use machine::CmpSystem;
-pub use metrics::{EpochRecord, RunStats};
+pub use metrics::{CommMatrix, EpochRecord, RunStats};
 pub use oracle::OracleBook;
 pub use predictor_slot::PredictorSlot;

@@ -46,11 +46,78 @@ enum ThreadStatus {
     Done,
 }
 
+/// `Copy` dispatch tag for the configured protocol.
+///
+/// [`ProtocolKind`] itself can be arbitrarily large (an oracle predictor
+/// carries its whole signature book), so matching on a clone of it per
+/// transaction — the previous code — paid a deep copy on every L2 miss.
+/// The variant alone decides the timing path; the predictor payload was
+/// already consumed when the per-thread [`PredictorSlot`]s were built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProtoDispatch {
+    Directory,
+    Broadcast,
+    Predicted,
+    MulticastSnoop,
+}
+
+impl ProtoDispatch {
+    fn of(kind: &ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::Directory => ProtoDispatch::Directory,
+            ProtocolKind::Broadcast => ProtoDispatch::Broadcast,
+            ProtocolKind::Predicted(_) => ProtoDispatch::Predicted,
+            ProtocolKind::MulticastSnoop(_) => ProtoDispatch::MulticastSnoop,
+        }
+    }
+}
+
+/// Per-transaction arrival-time scratch, indexed by physical core.
+///
+/// The snoop and predicted paths need "when did the probe reach core X"
+/// for up to every core; a fixed `Option<Cycle>` array sized to
+/// [`CoreSet::MAX_CORES`] replaces the `HashMap` the old code allocated
+/// per transaction. Transactions never nest, so one instance per system
+/// suffices; each path resets it before use.
+#[derive(Debug)]
+struct ArrivalScratch([Option<Cycle>; CoreSet::MAX_CORES]);
+
+impl ArrivalScratch {
+    fn new() -> Self {
+        ArrivalScratch([None; CoreSet::MAX_CORES])
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        self.0.fill(None);
+    }
+
+    #[inline]
+    fn set(&mut self, core: CoreId, t: Cycle) {
+        self.0[core.index()] = Some(t);
+    }
+
+    #[inline]
+    fn get(&self, core: CoreId) -> Option<Cycle> {
+        self.0[core.index()]
+    }
+
+    #[inline]
+    fn contains(&self, core: CoreId) -> bool {
+        self.0[core.index()].is_some()
+    }
+}
+
 /// The full machine. Construct indirectly through
 /// [`CmpSystem::run_workload`].
 #[derive(Debug)]
 pub struct CmpSystem {
     cfg: RunConfig,
+    /// Cached dispatch tag of `cfg.protocol` (hot-path `match` target).
+    proto: ProtoDispatch,
+    /// Reusable probe/predicted-request arrival times (one per physical
+    /// core), cleared at the start of each transaction phase.
+    arrival: ArrivalScratch,
     fabric: Fabric,
     dir: Directory,
     tiles: Vec<Tile>,
@@ -113,10 +180,12 @@ impl CmpSystem {
             .collect();
         let stats = RunStats {
             protocol: cfg.protocol.name(),
-            comm_matrix: vec![vec![0; num_cores]; num_cores],
+            comm_matrix: crate::metrics::CommMatrix::new(num_cores),
             ..RunStats::default()
         };
         CmpSystem {
+            proto: ProtoDispatch::of(&cfg.protocol),
+            arrival: ArrivalScratch::new(),
             fabric: Fabric::new(machine.noc.clone()),
             dir: Directory::new(num_cores),
             tiles,
@@ -193,9 +262,7 @@ impl CmpSystem {
         }
         for t in 0..n {
             self.thread_core[t] = (self.thread_core[t] + r) % n;
-        }
-        for (t, &c) in self.thread_core.clone().iter().enumerate() {
-            self.core_thread[c] = t;
+            self.core_thread[self.thread_core[t]] = t;
         }
         self.stats.migrations += 1;
     }
@@ -332,10 +399,20 @@ impl CmpSystem {
         let ctx = &mut self.threads[th];
         if record {
             if let Some(inst) = ctx.cur_epoch {
+                // Only a communicating instance needs to hand its counter
+                // buffer over to the record; the (common) silent epoch is
+                // stored with the empty-equals-all-zero convention and the
+                // live buffer is scrubbed in place — no allocation.
+                let volumes = if ctx.cur_volumes.iter().any(|&v| v != 0) {
+                    std::mem::replace(&mut ctx.cur_volumes, vec![0; n])
+                } else {
+                    Vec::new()
+                };
+                ctx.cur_volumes.fill(0);
                 ctx.records.push(EpochRecord {
                     id: inst.id,
                     instance: inst.instance,
-                    volumes: std::mem::replace(&mut ctx.cur_volumes, vec![0; n]),
+                    volumes,
                     miss_targets: std::mem::take(&mut ctx.cur_targets),
                 });
             } else {
@@ -478,7 +555,7 @@ impl CmpSystem {
             self.stats.comm_misses += 1;
             self.stats.actual_set_sum += targets.len() as u64;
             for dst in targets.iter() {
-                self.stats.comm_matrix[core.index()][dst.index()] += 1;
+                self.stats.comm_matrix.bump(core.index(), dst.index());
                 self.threads[th].cur_volumes[dst.index()] += 1;
             }
             if self.cfg.record_epochs {
@@ -507,20 +584,20 @@ impl CmpSystem {
         }
 
         let miss = MissInfo::new(block, pc, kind);
-        let completion = match self.cfg.protocol.clone() {
-            ProtocolKind::Directory => {
+        let completion = match self.proto {
+            ProtoDispatch::Directory => {
                 if communicating {
                     self.stats.indirections += 1;
                 }
                 self.directory_path(core, t0, block, kind, supplier, targets)
             }
-            ProtocolKind::Broadcast => {
+            ProtoDispatch::Broadcast => {
                 self.broadcast_path(th, core, t0, block, pc, kind, supplier, targets)
             }
-            ProtocolKind::Predicted(_) => {
+            ProtoDispatch::Predicted => {
                 self.predicted_path(th, core, t0, block, pc, kind, supplier, targets, &miss)
             }
-            ProtocolKind::MulticastSnoop(_) => {
+            ProtoDispatch::MulticastSnoop => {
                 self.multicast_path(th, core, t0, block, pc, kind, supplier, targets, &miss)
             }
         };
@@ -724,25 +801,26 @@ impl CmpSystem {
     ) -> Cycle {
         let home = self.dir.home_of(block);
         let l2_lat = self.cfg.machine.l2.tag_cycles + self.cfg.machine.l2.data_cycles;
-        let mut probe_arrival = std::collections::HashMap::new();
+        self.arrival.reset();
         for dst in probe_set.iter() {
             if dst == core {
                 continue;
             }
             let t_arr = self.fabric.send(core, dst, probe_kind, t0);
-            probe_arrival.insert(dst, t_arr);
+            self.arrival.set(dst, t_arr);
             self.probe_remote_with_pc(dst, block, core, pc);
         }
         let mut completion = t0;
         match owner {
-            Some(o) if o != core && probe_arrival.contains_key(&o) => {
-                let t_data =
-                    self.fabric
-                        .send(o, core, MsgKind::DataResponse, probe_arrival[&o] + l2_lat);
+            Some(o) if o != core && self.arrival.contains(o) => {
+                let t_probe = self.arrival.get(o).unwrap();
+                let t_data = self
+                    .fabric
+                    .send(o, core, MsgKind::DataResponse, t_probe + l2_lat);
                 completion = completion.max(t_data);
             }
             _ => {
-                let t_probe_home = probe_arrival.get(&home).copied().unwrap_or_else(|| {
+                let t_probe_home = self.arrival.get(home).unwrap_or_else(|| {
                     // Memory fallback needs the home even if unprobed.
                     self.fabric.send(core, home, probe_kind, t0)
                 });
@@ -753,14 +831,17 @@ impl CmpSystem {
         }
         if kind.is_exclusive() {
             for s in targets.iter() {
-                if Some(s) == owner || !probe_arrival.contains_key(&s) {
+                let Some(t_probe) = self.arrival.get(s) else {
+                    continue;
+                };
+                if Some(s) == owner {
                     continue;
                 }
                 let t_ack = self.fabric.send(
                     s,
                     core,
                     MsgKind::InvalidateAck,
-                    probe_arrival[&s] + self.cfg.machine.l2.tag_cycles,
+                    t_probe + self.cfg.machine.l2.tag_cycles,
                 );
                 completion = completion.max(t_ack);
             }
@@ -944,11 +1025,11 @@ impl CmpSystem {
         let l2_lat = self.cfg.machine.l2.tag_cycles + self.cfg.machine.l2.data_cycles;
 
         // Predicted requests race the directory request.
-        let mut pred_arrival = std::collections::HashMap::new();
+        self.arrival.reset();
         for p in pset.iter() {
             let t_arr = self.fabric.send(core, p, MsgKind::PredictedRequest, t0);
             self.account_pred_overhead(core, p, MsgKind::PredictedRequest, communicating);
-            pred_arrival.insert(p, t_arr);
+            self.arrival.set(p, t_arr);
             self.probe_remote_with_pc(p, block, core, pc);
         }
         let t_dir =
@@ -960,12 +1041,10 @@ impl CmpSystem {
                     if pset.contains(o) {
                         // 2-hop cache-to-cache transfer; the supplier also
                         // updates the directory off the critical path.
-                        let t_data = self.fabric.send(
-                            o,
-                            core,
-                            MsgKind::DataResponse,
-                            pred_arrival[&o] + l2_lat,
-                        );
+                        let t_arr = self.arrival.get(o).expect("predicted node was probed");
+                        let t_data =
+                            self.fabric
+                                .send(o, core, MsgKind::DataResponse, t_arr + l2_lat);
                         self.fabric.send(o, home, MsgKind::DirectoryUpdate, t_data);
                         self.account_pred_overhead(o, home, MsgKind::DirectoryUpdate, true);
                         t_data
@@ -992,12 +1071,9 @@ impl CmpSystem {
                 match owner {
                     Some(o) if o != core => {
                         let t_data = if pset.contains(o) {
-                            self.fabric.send(
-                                o,
-                                core,
-                                MsgKind::DataResponse,
-                                pred_arrival[&o] + l2_lat,
-                            )
+                            let t_arr = self.arrival.get(o).expect("predicted node was probed");
+                            self.fabric
+                                .send(o, core, MsgKind::DataResponse, t_arr + l2_lat)
                         } else {
                             let t_fwd = self.fabric.send(home, o, MsgKind::Forward, t_dir);
                             self.probe_remote(o, block, core, 0);
@@ -1017,7 +1093,7 @@ impl CmpSystem {
                     if Some(s) == owner {
                         continue;
                     }
-                    let t_ack = if let Some(&t_arr) = pred_arrival.get(&s) {
+                    let t_ack = if let Some(t_arr) = self.arrival.get(s) {
                         // Correctly predicted sharer: invalidated directly.
                         self.fabric.send(
                             s,
@@ -1050,7 +1126,8 @@ impl CmpSystem {
                 _ => targets.contains(p),
             };
             if !supplies {
-                self.fabric.send(p, core, MsgKind::Nack, pred_arrival[&p]);
+                let t_arr = self.arrival.get(p).expect("predicted node was probed");
+                self.fabric.send(p, core, MsgKind::Nack, t_arr);
                 self.account_pred_overhead(p, core, MsgKind::Nack, communicating);
             }
         }
@@ -1166,10 +1243,15 @@ impl CmpSystem {
         if self.cfg.record_epochs {
             for ctx in &mut self.threads {
                 if let Some(inst) = ctx.cur_epoch {
+                    let volumes = if ctx.cur_volumes.iter().any(|&v| v != 0) {
+                        std::mem::take(&mut ctx.cur_volumes)
+                    } else {
+                        Vec::new()
+                    };
                     ctx.records.push(EpochRecord {
                         id: inst.id,
                         instance: inst.instance,
-                        volumes: std::mem::take(&mut ctx.cur_volumes),
+                        volumes,
                         miss_targets: std::mem::take(&mut ctx.cur_targets),
                     });
                 }
@@ -1454,8 +1536,7 @@ mod tests {
             .flatten()
             .map(|r| r.total_volume())
             .sum();
-        let matrix_total: u64 = s.comm_matrix.iter().flatten().sum();
-        assert_eq!(rec_total, matrix_total);
+        assert_eq!(rec_total, s.comm_matrix.total());
     }
 
     #[test]

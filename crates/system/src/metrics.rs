@@ -14,7 +14,10 @@ pub struct EpochRecord {
     pub id: EpochId,
     /// Dynamic instance number on this core.
     pub instance: u64,
-    /// Communication volume towards each core.
+    /// Communication volume towards each core. An *empty* vector means
+    /// the instance communicated with nobody (all-zero volumes): the
+    /// recorder stores non-communicating epochs this way so their counter
+    /// buffer can be reused instead of reallocated.
     pub volumes: Vec<u32>,
     /// The minimal sufficient target set of every communicating miss in
     /// the instance (for ideal-accuracy evaluation).
@@ -45,6 +48,74 @@ impl EpochRecord {
 
 /// Bucket upper bounds of [`RunStats::miss_latency_hist`].
 pub const LATENCY_BUCKETS: [u64; 6] = [16, 32, 64, 128, 256, 512];
+
+/// Whole-run communication volume matrix, stored as one flat row-major
+/// `Vec<u64>` so the per-miss increment on the simulator's hot path is a
+/// single indexed add with no pointer chase through nested vectors.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_system::metrics::CommMatrix;
+///
+/// let mut m = CommMatrix::new(4);
+/// m.bump(0, 3);
+/// m.bump(0, 3);
+/// assert_eq!(m.at(0, 3), 2);
+/// assert_eq!(m.total(), 2);
+/// assert_eq!(m.row(0), &[0, 0, 0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommMatrix {
+    n: usize,
+    cells: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// An all-zero `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        CommMatrix {
+            n,
+            cells: vec![0; n * n],
+        }
+    }
+
+    /// Number of cores per side (0 for the default empty matrix).
+    pub fn num_cores(&self) -> usize {
+        self.n
+    }
+
+    /// Increments the `src → dst` cell.
+    #[inline]
+    pub fn bump(&mut self, src: usize, dst: usize) {
+        self.cells[src * self.n + dst] += 1;
+    }
+
+    /// The `src → dst` cell value.
+    pub fn at(&self, src: usize, dst: usize) -> u64 {
+        self.cells[src * self.n + dst]
+    }
+
+    /// One source core's per-target volumes.
+    pub fn row(&self, src: usize) -> &[u64] {
+        &self.cells[src * self.n..(src + 1) * self.n]
+    }
+
+    /// Iterates the rows in source order.
+    pub fn rows(&self) -> impl Iterator<Item = &[u64]> {
+        self.cells.chunks(self.n.max(1))
+    }
+
+    /// Sum of every cell (total communicating-miss volume).
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// Largest single cell value.
+    pub fn max(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+}
 
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
@@ -124,8 +195,8 @@ pub struct RunStats {
     /// Aggregated SP statistics (present for SP runs).
     pub sp: Option<SpStats>,
 
-    /// Whole-run communication volume matrix: `comm_matrix[src][dst]`.
-    pub comm_matrix: Vec<Vec<u64>>,
+    /// Whole-run communication volume matrix (`src → dst`).
+    pub comm_matrix: CommMatrix,
     /// Per-core epoch records (only when recording was enabled).
     pub epoch_records: Vec<Vec<EpochRecord>>,
     /// Per-static-instruction communication volumes (only when recording):
@@ -170,7 +241,7 @@ impl Default for RunStats {
             filtered_predictions: 0,
             migrations: 0,
             sp: None,
-            comm_matrix: Vec::new(),
+            comm_matrix: CommMatrix::default(),
             epoch_records: Vec::new(),
             pc_volumes: HashMap::new(),
             trace: Vec::new(),

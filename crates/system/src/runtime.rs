@@ -12,7 +12,6 @@ use std::collections::{HashMap, VecDeque};
 /// latest arrival time plus a fixed release cost.
 #[derive(Debug)]
 pub struct BarrierState {
-    n: usize,
     arrived: Vec<Option<Cycle>>,
     release_cost: u64,
 }
@@ -21,7 +20,6 @@ impl BarrierState {
     /// Creates the barrier runtime for `n` cores.
     pub fn new(n: usize, release_cost: u64) -> Self {
         BarrierState {
-            n,
             arrived: vec![None; n],
             release_cost,
         }
@@ -49,7 +47,8 @@ impl BarrierState {
                 .map(|a| a.expect("all arrived"))
                 .max()
                 .expect("n > 0");
-            self.arrived = vec![None; self.n];
+            // Reset in place: barrier generations must not allocate.
+            self.arrived.fill(None);
             Some(latest + self.release_cost)
         } else {
             None

@@ -16,9 +16,9 @@ else
     echo "rustfmt not installed; skipping"
 fi
 
-step "clippy (spcp-harness, -D warnings)"
+step "clippy (workspace, -D warnings)"
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy -p spcp-harness --all-targets --offline -- -D warnings
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 else
     echo "clippy not installed; skipping"
 fi

@@ -186,8 +186,7 @@ fn recording_runs_reconcile_with_aggregate_stats() {
         .flatten()
         .map(|r| r.total_volume())
         .sum();
-    let matrix_total: u64 = s.comm_matrix.iter().flatten().sum();
-    assert_eq!(rec_total, matrix_total);
+    assert_eq!(rec_total, s.comm_matrix.total());
     let targets_total: usize = s
         .epoch_records
         .iter()

@@ -1,4 +1,4 @@
-//! Golden-snapshot regression tests: 3 benchmarks × 4 protocols at the
+//! Golden-snapshot regression tests: 6 benchmarks × 4 protocols at the
 //! fixed figure seed, snapshotted under `tests/golden/`. Any change to
 //! simulator behavior shows up as a precise line diff.
 //!
@@ -7,6 +7,10 @@
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test --test golden_regression
 //! ```
+//!
+//! To add a benchmark without touching existing snapshots, regenerate
+//! only its own file: `UPDATE_GOLDEN=1 cargo test --test
+//! golden_regression golden_<bench>`.
 
 use std::path::PathBuf;
 
@@ -14,7 +18,7 @@ use spcp::harness::{golden, RunMatrix, SweepEngine};
 use spcp::system::{PredictorKind, ProtocolKind};
 use spcp::workloads::suite;
 
-const GOLDEN_BENCHES: [&str; 3] = ["fft", "lu", "x264"];
+const GOLDEN_BENCHES: [&str; 6] = ["fft", "lu", "x264", "radix", "ocean", "streamcluster"];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -57,6 +61,21 @@ fn golden_lu() {
 #[test]
 fn golden_x264() {
     check_bench(GOLDEN_BENCHES[2]);
+}
+
+#[test]
+fn golden_radix() {
+    check_bench(GOLDEN_BENCHES[3]);
+}
+
+#[test]
+fn golden_ocean() {
+    check_bench(GOLDEN_BENCHES[4]);
+}
+
+#[test]
+fn golden_streamcluster() {
+    check_bench(GOLDEN_BENCHES[5]);
 }
 
 /// The golden files themselves stay well-formed: header line, one `[run …]`
