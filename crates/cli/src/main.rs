@@ -12,7 +12,10 @@ mod report;
 
 use args::Args;
 use spcp_harness::{golden, RunMatrix, SweepEngine};
-use spcp_system::{CmpSystem, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
+use spcp_system::{
+    CmpSystem, CoherenceVariant, MachineConfig, PredictorKind, ProtocolKind, RunConfig,
+};
+use spcp_verify::{analyze_races, ModelChecker, ModelConfig};
 use spcp_workloads::suite;
 
 const USAGE: &str = "spcp — synchronization-point coherence prediction simulator
@@ -34,6 +37,12 @@ USAGE:
   spcp trace --bench <name> --out <file>        collect a miss/sync trace
   spcp analyze --trace <file> [--cores <n>]     characterize a trace file
   spcp matrix --bench <name> [--protocol <p>]   communication-matrix heatmap
+  spcp check [--bench <name>] [--protocol <p>]  run with coherence audits on
+      [--seed <n>]                              (all benchmarks when no --bench)
+  spcp check --model [--cores 2..4] [--lines 1..2]
+      [--mesi] [--no-predictor-race]            exhaustive protocol model check
+  spcp check --trace <file> [--cores <n>]       sync-epoch race analysis
+      exit status is nonzero on any violation / race
 ";
 
 fn protocol_from(name: &str) -> Result<ProtocolKind, String> {
@@ -371,6 +380,116 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `spcp check --model`: exhaustive state enumeration of the protocol
+/// transition tables on a small configuration.
+fn cmd_check_model(args: &Args) -> Result<(), String> {
+    let cores: usize = args.opt_parse("cores", 2)?;
+    let lines: usize = args.opt_parse("lines", 1)?;
+    if !(2..=4).contains(&cores) {
+        return Err("--cores must be 2..=4 (exhaustive enumeration)".into());
+    }
+    if !(1..=2).contains(&lines) {
+        return Err("--lines must be 1..=2 (exhaustive enumeration)".into());
+    }
+    let cfg = ModelConfig {
+        cores,
+        lines,
+        variant: if args.flag("mesi") {
+            CoherenceVariant::Mesi
+        } else {
+            CoherenceVariant::Mesif
+        },
+        predictor_race: !args.flag("no-predictor-race"),
+    };
+    let label = format!(
+        "{} cores x {} lines, {:?}{}",
+        cfg.cores,
+        cfg.lines,
+        cfg.variant,
+        if cfg.predictor_race {
+            ", predictor-race audit"
+        } else {
+            ""
+        }
+    );
+    match ModelChecker::new(cfg).check() {
+        Ok(stats) => {
+            println!(
+                "model check ok: {label}; {} states, {} transitions, 0 violations",
+                stats.states, stats.transitions
+            );
+            Ok(())
+        }
+        Err(cex) => Err(format!("model check FAILED: {label}\n{cex}")),
+    }
+}
+
+/// `spcp check --trace <file>`: happens-before race analysis of a recorded
+/// trace.
+fn cmd_check_trace(args: &Args, path: &str) -> Result<(), String> {
+    let cores: usize = args.opt_parse("cores", 16)?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let events =
+        spcp_trace::read_trace(std::io::BufReader::new(file)).map_err(|e| format!("{e}"))?;
+    let report = analyze_races(cores, &events);
+    println!("{path}: {}", report.summary());
+    if report.is_clean() {
+        return Ok(());
+    }
+    let mut msg = format!("{} unordered communication pair(s):", report.races.len());
+    for f in report.races.iter().take(20) {
+        msg.push_str(&format!("\n  {f}"));
+    }
+    if report.races.len() > 20 {
+        msg.push_str(&format!("\n  ... and {} more", report.races.len() - 20));
+    }
+    Err(msg)
+}
+
+/// `spcp check`: one benchmark (or the whole suite) under the runtime
+/// coherence audit layer; any violation aborts with a nonzero exit.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    if args.flag("model") {
+        return cmd_check_model(args);
+    }
+    if let Some(path) = args.opt("trace") {
+        return cmd_check_trace(args, path);
+    }
+    if !spcp_system::invariants_compiled() {
+        return Err(
+            "this binary was built without the runtime invariant layer; \
+             rebuild with `cargo build --features invariants` \
+             (debug builds always include it)"
+                .into(),
+        );
+    }
+    let protocol = protocol_from(args.opt("protocol").unwrap_or("sp"))?;
+    let seed: u64 = args.opt_parse("seed", 7)?;
+    let specs = match args.opt("bench") {
+        Some(_) => vec![load_spec(args)?],
+        None if args.opt("spec-file").is_some() => vec![load_spec(args)?],
+        None => suite::all(),
+    };
+    let mut transactions = 0u64;
+    for spec in &specs {
+        let workload = spec.generate(16, seed);
+        let cfg = RunConfig::new(MachineConfig::paper_16core(), protocol.clone());
+        let stats = CmpSystem::run_workload_checked(&workload, &cfg)
+            .map_err(|v| format!("{}: {v}", spec.name))?;
+        println!(
+            "{:<14} ok  {:>8} misses audited, {:>10} cycles",
+            spec.name, stats.l2_misses, stats.exec_cycles
+        );
+        transactions += stats.l2_misses;
+    }
+    println!(
+        "check ok: {} benchmark(s), {} transactions audited, 0 violations",
+        specs.len(),
+        transactions
+    );
+    Ok(())
+}
+
 fn dispatch(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
         "list" => cmd_list(),
@@ -381,6 +500,7 @@ fn dispatch(args: &Args) -> Result<(), String> {
         "trace" => cmd_trace(args),
         "analyze" => cmd_analyze(args),
         "matrix" => cmd_matrix(args),
+        "check" => cmd_check(args),
         "" | "help" => {
             print!("{USAGE}");
             Ok(())
@@ -566,6 +686,71 @@ end
         if !spcp_harness::golden::update_requested() {
             assert!(dispatch(&drifted).unwrap_err().contains("mismatch"));
         }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_model_smoke() {
+        let a = Args::parse(
+            "check --model --cores 2 --lines 1"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+    }
+
+    #[test]
+    fn check_model_rejects_large_configs() {
+        let a = Args::parse(
+            "check --model --cores 9"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).unwrap_err().contains("--cores"));
+    }
+
+    #[test]
+    fn check_workload_smoke() {
+        // Test builds carry debug_assertions, so the audits are compiled.
+        let a = Args::parse(
+            "check --bench x264 --protocol sp"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+    }
+
+    #[test]
+    fn check_trace_flags_unordered_sharing() {
+        use spcp_core::AccessKind;
+        use spcp_sim::{CoreId, CoreSet};
+        let racy = vec![
+            spcp_trace::TraceEvent::Miss {
+                core: CoreId::new(0),
+                block: spcp_mem::BlockAddr::from_index(5),
+                pc: 0,
+                kind: AccessKind::Write,
+                targets: CoreSet::empty(),
+            },
+            spcp_trace::TraceEvent::Miss {
+                core: CoreId::new(1),
+                block: spcp_mem::BlockAddr::from_index(5),
+                pc: 0,
+                kind: AccessKind::Read,
+                targets: CoreSet::single(CoreId::new(0)),
+            },
+        ];
+        let path = std::env::temp_dir().join("spcp-cli-check-racy.trace");
+        let mut buf = Vec::new();
+        spcp_trace::write_trace(&mut buf, &racy).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let a = Args::parse(
+            format!("check --trace {} --cores 2", path.display())
+                .split_whitespace()
+                .map(String::from),
+        );
+        let err = dispatch(&a).unwrap_err();
+        assert!(err.contains("unordered"), "{err}");
         let _ = std::fs::remove_file(path);
     }
 

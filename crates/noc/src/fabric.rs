@@ -153,7 +153,20 @@ impl Fabric {
     /// Start of `link`'s VC slot range inside `link_free`.
     #[inline]
     fn link_base(&self, link: Link) -> usize {
-        (link.from * 4 + link.dir.index()) * self.vcs
+        debug_assert!(
+            link.from < self.cfg.nodes() && link.dir.index() < 4,
+            "link {:?} outside the {}-node reservation table",
+            link,
+            self.cfg.nodes()
+        );
+        let base = (link.from * 4 + link.dir.index()) * self.vcs;
+        debug_assert!(
+            base + self.vcs <= self.link_free.len(),
+            "VC slot range [{base}, {}) exceeds reservation table of {}",
+            base + self.vcs,
+            self.link_free.len()
+        );
+        base
     }
 
     /// The underlying topology.
@@ -281,6 +294,41 @@ impl Fabric {
     /// `hops × (router + link)`.
     pub fn pipe_latency(&self, hops: u64) -> u64 {
         hops * (self.cfg.router_cycles + self.cfg.link_cycles)
+    }
+
+    /// Audits the fabric's internal accounting: the VC reservation table
+    /// has exactly `nodes × 4 directions × vcs` slots, and the traffic
+    /// counters are mutually consistent. Cheap (O(1) plus a few compares),
+    /// so the runtime invariant layer can call it per transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn audit(&self) -> Result<(), String> {
+        let want = self.cfg.nodes() * 4 * self.vcs;
+        if self.link_free.len() != want {
+            return Err(format!(
+                "VC reservation table has {} slots, geometry implies {want}",
+                self.link_free.len()
+            ));
+        }
+        if self.vcs != self.cfg.virtual_channels.max(1) {
+            return Err(format!(
+                "cached VC count {} disagrees with config {}",
+                self.vcs, self.cfg.virtual_channels
+            ));
+        }
+        if self.stats.ctrl_byte_hops > self.stats.byte_hops {
+            return Err(format!(
+                "control byte-hops {} exceed total byte-hops {}",
+                self.stats.ctrl_byte_hops, self.stats.byte_hops
+            ));
+        }
+        if self.stats.messages == 0 && (self.stats.bytes_injected != 0 || self.stats.byte_hops != 0)
+        {
+            return Err("traffic accounted with zero messages injected".to_string());
+        }
+        Ok(())
     }
 }
 

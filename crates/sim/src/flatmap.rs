@@ -123,14 +123,23 @@ impl<V> FlatMap<V> {
     /// Returns a reference to the value for `key`.
     #[inline]
     pub fn get(&self, key: u64) -> Option<&V> {
-        self.find(key).map(|i| &self.slots[i].as_ref().unwrap().1)
+        self.find(key).map(|i| {
+            &self.slots[i]
+                .as_ref()
+                .expect("find returns occupied slots")
+                .1
+        })
     }
 
     /// Returns a mutable reference to the value for `key`.
     #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
-        self.find(key)
-            .map(|i| &mut self.slots[i].as_mut().unwrap().1)
+        self.find(key).map(|i| {
+            &mut self.slots[i]
+                .as_mut()
+                .expect("find returns occupied slots")
+                .1
+        })
     }
 
     /// Whether `key` is present.
@@ -142,6 +151,14 @@ impl<V> FlatMap<V> {
     /// Inserts `key → value`, returning the previous value if any.
     pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
         self.reserve_one();
+        // The load cap keeps probe chains short *and* guarantees the probe
+        // loops below always hit an empty slot and terminate.
+        debug_assert!(
+            (self.len + 1) * 8 <= self.slots.len() * 7,
+            "occupancy {}+1 exceeds the 7/8 bound of capacity {}",
+            self.len,
+            self.slots.len()
+        );
         let mask = self.slots.len() - 1;
         let mut i = self.home(key);
         loop {
@@ -173,10 +190,10 @@ impl<V> FlatMap<V> {
                 None => {
                     self.slots[i] = Some((key, default()));
                     self.len += 1;
-                    return &mut self.slots[i].as_mut().unwrap().1;
+                    return &mut self.slots[i].as_mut().expect("slot just filled").1;
                 }
                 Some((k, _)) if *k == key => {
-                    return &mut self.slots[i].as_mut().unwrap().1;
+                    return &mut self.slots[i].as_mut().expect("match guard saw Some").1;
                 }
                 Some(_) => i = (i + 1) & mask,
             }
@@ -190,7 +207,9 @@ impl<V> FlatMap<V> {
     /// the table never holds tombstones.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let mut hole = self.find(key)?;
-        let (_, value) = self.slots[hole].take().unwrap();
+        let (_, value) = self.slots[hole]
+            .take()
+            .expect("find returns occupied slots");
         self.len -= 1;
 
         let mask = self.slots.len() - 1;
@@ -206,6 +225,14 @@ impl<V> FlatMap<V> {
             }
             j = (j + 1) & mask;
         }
+        // Backward-shift postcondition: the chain ends on an empty final
+        // hole and the removed key is unreachable — a botched shift would
+        // instead strand an entry behind a `None` and make it invisible.
+        debug_assert!(self.slots[hole].is_none());
+        debug_assert!(
+            self.find(key).is_none(),
+            "removed key {key} still reachable after backward shift"
+        );
         Some(value)
     }
 

@@ -36,11 +36,12 @@ pub mod machine;
 pub mod metrics;
 pub mod oracle;
 pub mod predictor_slot;
+pub mod protocol;
 pub mod runtime;
 
 pub use config::{CoherenceVariant, MachineConfig, PredictorKind, ProtocolKind, RunConfig};
 pub use filter::RegionTracker;
-pub use machine::CmpSystem;
+pub use machine::{invariants_compiled, CmpSystem, InvariantViolation};
 pub use metrics::{CommMatrix, EpochRecord, RunStats};
 pub use oracle::OracleBook;
 pub use predictor_slot::PredictorSlot;

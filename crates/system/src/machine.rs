@@ -10,6 +10,7 @@ use crate::config::{ProtocolKind, RunConfig};
 use crate::filter::RegionTracker;
 use crate::metrics::{EpochRecord, RunStats};
 use crate::predictor_slot::PredictorSlot;
+use crate::protocol::{self, DirUpdate};
 use crate::runtime::{Acquire, BarrierState, LockRuntime};
 use spcp_core::{shared_lock_table, AccessKind, MissInfo, PredictionOutcome};
 use spcp_mem::{BlockAddr, Directory, LineState, SetAssocCache};
@@ -132,6 +133,48 @@ pub struct CmpSystem {
     locks: LockRuntime,
     regions: RegionTracker,
     stats: RunStats,
+    /// Coherence transactions committed so far (invariant-violation
+    /// reports cite this id).
+    txn_counter: u64,
+    /// First invariant violation observed, when auditing is enabled.
+    violation: Option<InvariantViolation>,
+}
+
+/// A protocol invariant violation caught by the runtime audit layer.
+///
+/// Produced by [`CmpSystem::run_workload_checked`] when the machine is run
+/// with `check_invariants` on (requires the audits to be compiled in — see
+/// [`invariants_compiled`](crate::invariants_compiled)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Simulated cycle at which the violation was detected.
+    pub cycle: u64,
+    /// The coherence transaction id (1-based) whose audit failed; 0 when
+    /// the violation was found by the end-of-run sweep.
+    pub transaction: u64,
+    /// Human-readable description of the broken invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant violation at cycle {} (transaction {}): {}",
+            self.cycle, self.transaction, self.message
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Whether the runtime invariant audits are compiled into this build.
+///
+/// They are present in debug builds and in release builds with
+/// `--features invariants`; plain release builds compile them out entirely
+/// so the hot path stays allocation- and branch-free.
+pub fn invariants_compiled() -> bool {
+    cfg!(any(debug_assertions, feature = "invariants"))
 }
 
 impl CmpSystem {
@@ -202,6 +245,8 @@ impl CmpSystem {
                 ..cfg.clone()
             },
             stats,
+            txn_counter: 0,
+            violation: None,
         }
     }
 
@@ -230,6 +275,153 @@ impl CmpSystem {
         sys.run(workload);
         sys.validate_coherence();
         sys.into_stats()
+    }
+
+    /// Runs `workload` with the runtime invariant audits enabled: every
+    /// coherence transaction is followed by a directory/cache agreement
+    /// check on the touched block, a NoC accounting audit, and an
+    /// epoch-counter conservation check; a full-machine coherence sweep
+    /// runs at the end. The first violation stops the run and is returned
+    /// with its cycle and transaction id.
+    ///
+    /// Requires a build with the audits compiled in
+    /// ([`invariants_compiled`] returns `true`); otherwise only the final
+    /// sweep runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload deadlocks while no violation was detected.
+    pub fn run_workload_checked(
+        workload: &Workload,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, InvariantViolation> {
+        let cfg = RunConfig {
+            check_invariants: true,
+            ..cfg.clone()
+        };
+        let mut sys = CmpSystem::new(&cfg, workload.num_cores());
+        sys.stats.benchmark = workload.name().to_string();
+        sys.run(workload);
+        if let Some(v) = sys.violation.take() {
+            return Err(v);
+        }
+        if let Err(message) = sys.coherence_report() {
+            return Err(InvariantViolation {
+                cycle: sys.stats.exec_cycles,
+                transaction: 0,
+                message,
+            });
+        }
+        Ok(sys.into_stats())
+    }
+
+    /// Records the first invariant violation; later ones are dropped (the
+    /// machine state is already suspect).
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn flag_violation(&mut self, t: Cycle, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(InvariantViolation {
+                cycle: t.as_u64(),
+                transaction: self.txn_counter,
+                message,
+            });
+        }
+    }
+
+    /// Post-transaction audit of the touched block plus the cheap global
+    /// counters. O(cores) — cheap enough to run after every transaction.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn audit_transaction(&mut self, t: Cycle, block: BlockAddr) {
+        if let Err(msg) = self
+            .audit_block(block)
+            .and_then(|()| self.fabric.audit())
+            .and_then(|()| self.audit_epoch_conservation())
+        {
+            self.flag_violation(t, msg);
+        }
+    }
+
+    /// Directory/cache agreement for a single block: the sharer vector
+    /// matches the set of valid cached copies, suppliers are unique and
+    /// recorded as owner, and L1 residency implies L2 residency.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn audit_block(&self, block: BlockAddr) -> Result<(), String> {
+        let entry = self.dir.entry(block);
+        let mut suppliers = CoreSet::empty();
+        let mut writable = CoreSet::empty();
+        let mut valid = CoreSet::empty();
+        for core in CoreId::all(self.dir.num_tiles()) {
+            let tile = &self.tiles[core.index()];
+            match tile.l2.probe(block) {
+                Some(s) if s.is_valid() => {
+                    valid.insert(core);
+                    if s.can_supply_data() {
+                        suppliers.insert(core);
+                    }
+                    if s.is_writable() {
+                        writable.insert(core);
+                    }
+                }
+                _ => {
+                    if tile.l1.probe(block).is_some() {
+                        return Err(format!("{block}: L1 line at {core} violates L2 inclusion"));
+                    }
+                }
+            }
+        }
+        if valid != entry.sharers {
+            return Err(format!(
+                "{block}: directory sharers {:?} disagree with cached copies {:?}",
+                entry.sharers, valid
+            ));
+        }
+        if writable.len() > 1 || (!writable.is_empty() && valid.len() > 1) {
+            return Err(format!(
+                "{block}: SWMR violated — writable copies at {:?}, valid copies at {:?}",
+                writable, valid
+            ));
+        }
+        if suppliers.len() > 1 {
+            return Err(format!(
+                "{block}: {} simultaneous M/E/F suppliers ({:?})",
+                suppliers.len(),
+                suppliers
+            ));
+        }
+        if let Some(s) = suppliers.iter().next() {
+            if entry.owner != Some(s) {
+                return Err(format!(
+                    "{block}: supplier {s} is not the directory's owner ({:?})",
+                    entry.owner
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Epoch-counter conservation: every communicating-miss destination
+    /// increment lands in exactly one per-epoch volume counter (live or
+    /// recorded), so their grand total equals the global communication
+    /// matrix.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    fn audit_epoch_conservation(&self) -> Result<(), String> {
+        let mut per_epoch: u64 = 0;
+        for ctx in &self.threads {
+            per_epoch += ctx.cur_volumes.iter().map(|&v| v as u64).sum::<u64>();
+            per_epoch += ctx.records.iter().map(|r| r.total_volume()).sum::<u64>();
+        }
+        let matrix = self.stats.comm_matrix.total();
+        if per_epoch != matrix {
+            return Err(format!(
+                "epoch-counter conservation broken: per-epoch volumes sum to \
+                 {per_epoch} but the communication matrix holds {matrix}"
+            ));
+        }
+        Ok(())
     }
 
     /// The physical core thread `t` currently runs on.
@@ -278,6 +470,12 @@ impl CmpSystem {
         }
 
         while let Some((t_now, th)) = ready.pop() {
+            // A detected invariant violation stops the run: the machine
+            // state is no longer trustworthy, and the caller wants the
+            // first failure, not its fallout.
+            if self.violation.is_some() {
+                return;
+            }
             debug_assert_eq!(status[th], ThreadStatus::Runnable);
             let Some(op) = streams[th].get(pc[th]) else {
                 status[th] = ThreadStatus::Done;
@@ -532,24 +730,11 @@ impl CmpSystem {
     ) -> Cycle {
         self.stats.l2_misses += 1;
         let entry = self.dir.entry(block);
-        // Under plain MESI a stale directory owner whose line degraded to
-        // Shared cannot supply; only a true M/E (or, in MESIF, F) holder
-        // does.
-        let supplier = entry.owner.filter(|o| {
-            self.cfg.machine.variant == crate::config::CoherenceVariant::Mesif
-                || self.tiles[o.index()]
-                    .l2
-                    .probe(block)
-                    .map(|s| s.can_supply_data())
-                    .unwrap_or(false)
+        let mesif = self.cfg.machine.variant == crate::config::CoherenceVariant::Mesif;
+        let supplier = protocol::supplier_of(&entry, mesif, |o| {
+            self.tiles[o.index()].l2.probe(block).copied()
         });
-        let targets = match kind {
-            AccessKind::Read => match supplier {
-                Some(o) if o != core => CoreSet::single(o),
-                _ => CoreSet::empty(),
-            },
-            AccessKind::Write | AccessKind::Upgrade => entry.write_targets(core),
-        };
+        let targets = protocol::transaction_targets(kind, core, &entry, supplier);
         let communicating = !targets.is_empty();
         if communicating {
             self.stats.comm_misses += 1;
@@ -602,53 +787,41 @@ impl CmpSystem {
             }
         };
 
-        // Commit the requester's new line state and the directory view.
-        match kind {
-            AccessKind::Read => {
-                let alone = entry.sharers.is_empty();
-                // The previous owner (if any) degrades to a plain sharer.
-                if let Some(o) = entry.owner {
-                    if o != core {
-                        if let Some(s) = self.tiles[o.index()].l2.probe_mut(block) {
-                            if s.needs_writeback() {
-                                let home = self.dir.home_of(block);
-                                self.fabric.send(o, home, MsgKind::WriteBack, completion);
-                            }
-                            *s = LineState::Shared;
-                        }
-                    }
+        // Commit the requester's new line state and the directory view, as
+        // planned by the pure transition function (shared with the
+        // spcp-verify model checker).
+        let plan = protocol::commit_plan(kind, core, &entry, mesif, targets);
+        if let Some(o) = plan.downgraded_owner {
+            // The previous owner degrades to a plain sharer.
+            if let Some(s) = self.tiles[o.index()].l2.probe_mut(block) {
+                if s.needs_writeback() {
+                    let home = self.dir.home_of(block);
+                    self.fabric.send(o, home, MsgKind::WriteBack, completion);
                 }
-                let mesif = self.cfg.machine.variant == crate::config::CoherenceVariant::Mesif;
-                let state = if alone {
-                    LineState::Exclusive
-                } else if mesif {
-                    LineState::Forward
-                } else {
-                    LineState::Shared
-                };
-                self.fill_l2(core, block, state, completion);
-                if alone {
-                    self.dir.record_exclusive(block, core);
-                } else if mesif {
-                    self.dir.record_shared(block, core);
-                } else {
-                    self.dir.record_shared_no_forward(block, core);
-                }
+                *s = LineState::Shared;
             }
-            AccessKind::Write | AccessKind::Upgrade => {
-                for s in targets.iter() {
-                    self.invalidate_at(s, block);
-                }
-                if kind == AccessKind::Upgrade {
-                    *self.tiles[core.index()]
-                        .l2
-                        .probe_mut(block)
-                        .expect("upgrade implies resident line") = LineState::Modified;
-                } else {
-                    self.fill_l2(core, block, LineState::Modified, completion);
-                }
-                self.dir.record_exclusive(block, core);
-            }
+        }
+        for s in plan.invalidated.iter() {
+            self.invalidate_at(s, block);
+        }
+        if plan.installs_line {
+            self.fill_l2(core, block, plan.requester_state, completion);
+        } else {
+            *self.tiles[core.index()]
+                .l2
+                .probe_mut(block)
+                .expect("upgrade implies resident line") = plan.requester_state;
+        }
+        match plan.dir_update {
+            DirUpdate::Exclusive => self.dir.record_exclusive(block, core),
+            DirUpdate::Shared => self.dir.record_shared(block, core),
+            DirUpdate::SharedNoForward => self.dir.record_shared_no_forward(block, core),
+        }
+
+        self.txn_counter += 1;
+        #[cfg(any(debug_assertions, feature = "invariants"))]
+        if self.cfg.check_invariants && self.violation.is_none() {
+            self.audit_transaction(completion, block);
         }
 
         self.stats.miss_latency.record((completion - t0).as_u64());
@@ -1184,58 +1357,68 @@ impl CmpSystem {
     /// Panics (with a diagnostic) on any violation. Used by integration
     /// tests via [`CmpSystem::run_workload_validated`].
     fn validate_coherence(&self) {
+        if let Err(msg) = self.coherence_report() {
+            panic!("{msg}");
+        }
+    }
+
+    /// The full-machine coherence sweep behind
+    /// [`validate_coherence`](Self::validate_coherence), reporting the
+    /// first broken invariant instead of panicking (so `spcp check` can
+    /// exit nonzero with a diagnostic).
+    fn coherence_report(&self) -> Result<(), String> {
         // Directory -> caches.
         for (block, entry) in self.dir.iter() {
-            assert!(
-                !entry.sharers.is_empty(),
-                "{block}: tracked entry with no sharers"
-            );
+            if entry.sharers.is_empty() {
+                return Err(format!("{block}: tracked entry with no sharers"));
+            }
             let mut suppliers = 0;
             for core in CoreId::all(self.dir.num_tiles()) {
                 let state = self.tiles[core.index()].l2.probe(block).copied();
                 if entry.sharers.contains(core) {
-                    let state = state.unwrap_or_else(|| {
-                        panic!("{block}: directory lists {core} but its L2 lacks the line")
-                    });
-                    assert!(state.is_valid(), "{block}: invalid line listed at {core}");
+                    let Some(state) = state else {
+                        return Err(format!(
+                            "{block}: directory lists {core} but its L2 lacks the line"
+                        ));
+                    };
+                    if !state.is_valid() {
+                        return Err(format!("{block}: invalid line listed at {core}"));
+                    }
                     if state.can_supply_data() {
                         suppliers += 1;
-                        assert_eq!(
-                            entry.owner,
-                            Some(core),
-                            "{block}: supplier {core} is not the directory's owner"
-                        );
+                        if entry.owner != Some(core) {
+                            return Err(format!(
+                                "{block}: supplier {core} is not the directory's owner"
+                            ));
+                        }
                     }
-                } else {
-                    assert!(
-                        state.is_none() || state == Some(LineState::Invalid),
+                } else if !(state.is_none() || state == Some(LineState::Invalid)) {
+                    return Err(format!(
                         "{block}: {core} caches the line but the directory disagrees"
-                    );
+                    ));
                 }
             }
-            assert!(
-                suppliers <= 1,
-                "{block}: {suppliers} simultaneous M/E/F suppliers"
-            );
+            if suppliers > 1 {
+                return Err(format!("{block}: {suppliers} simultaneous M/E/F suppliers"));
+            }
         }
         // Caches -> directory, and L1 inclusion.
         for core in CoreId::all(self.dir.num_tiles()) {
             let tile = &self.tiles[core.index()];
             for (block, state) in tile.l2.iter() {
-                if state.is_valid() {
-                    assert!(
-                        self.dir.entry(block).sharers.contains(core),
+                if state.is_valid() && !self.dir.entry(block).sharers.contains(core) {
+                    return Err(format!(
                         "{block}: {core} holds a valid line unknown to the directory"
-                    );
+                    ));
                 }
             }
             for (block, _) in tile.l1.iter() {
-                assert!(
-                    tile.l2.probe(block).is_some(),
-                    "{block}: L1 line at {core} violates L2 inclusion"
-                );
+                if tile.l2.probe(block).is_none() {
+                    return Err(format!("{block}: L1 line at {core} violates L2 inclusion"));
+                }
             }
         }
+        Ok(())
     }
 
     fn into_stats(mut self) -> RunStats {
@@ -1647,6 +1830,46 @@ mod tests {
         assert!(s.latency_percentile(0.5).is_some());
         // Memory misses (150+ cycles) must push P95 beyond 128 cycles.
         assert!(s.latency_percentile(0.95).unwrap() > 128);
+    }
+
+    /// The block audit is not vacuous: corrupting one cached line state
+    /// after a run immediately trips the SWMR / directory-agreement check.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    #[test]
+    fn audit_detects_corrupted_cache_state() {
+        let w = suite::x264().generate(16, 7);
+        let cfg = RunConfig::new(machine(), ProtocolKind::Directory);
+        let mut sys = CmpSystem::new(&cfg, w.num_cores());
+        sys.run(&w);
+        // Find a block shared by at least two caches and silently flip one
+        // copy to Modified — a state the protocol could never produce.
+        let (block, victim) = sys
+            .dir
+            .iter()
+            .find(|(_, e)| e.sharers.len() >= 2)
+            .map(|(b, e)| (b, e.sharers.iter().next().expect("non-empty sharers")))
+            .expect("a 16-core run must leave some block shared");
+        assert!(sys.audit_block(block).is_ok(), "pre-corruption audit");
+        *sys.tiles[victim.index()]
+            .l2
+            .probe_mut(block)
+            .expect("directory says the line is resident") = LineState::Modified;
+        let err = sys.audit_block(block).expect_err("corruption undetected");
+        assert!(
+            err.contains("SWMR") || err.contains("writable"),
+            "unexpected audit message: {err}"
+        );
+    }
+
+    /// `run_workload_checked` surfaces violations instead of panicking.
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    #[test]
+    fn checked_run_is_clean_on_suite_workload() {
+        let w = suite::x264().generate(16, 7);
+        let cfg = RunConfig::new(machine(), ProtocolKind::Directory);
+        let stats = CmpSystem::run_workload_checked(&w, &cfg)
+            .unwrap_or_else(|v| panic!("spurious violation: {v}"));
+        assert!(stats.l2_misses > 0);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Pure MESIF/MESI protocol transition functions.
+//!
+//! [`CmpSystem`](crate::CmpSystem) used to decide supplier selection,
+//! target computation, and the post-transaction state/directory commit
+//! inline in its timing code. Those decisions are side-effect free, so they
+//! live here as pure functions of the directory entry and the requesting
+//! access: the machine applies the returned [`CommitPlan`] to real caches
+//! and the NoC, while `spcp-verify`'s model checker applies the *same*
+//! functions to an abstract state space. Anything the checker proves (or
+//! refutes) is therefore a statement about the code the simulator actually
+//! runs, not about a parallel re-implementation.
+
+use spcp_core::AccessKind;
+use spcp_mem::{DirEntry, LineState};
+use spcp_sim::{CoreId, CoreSet};
+
+/// Which cache (if any) supplies data for the next request to a block.
+///
+/// Under MESIF the directory's recorded owner always supplies (the F state
+/// forwards clean data). Under plain MESI a stale owner whose line degraded
+/// to Shared cannot supply, so the owner only counts if its line is still
+/// in a supplying state — `owner_state` reports the owner's current cached
+/// state (`None` when the line is no longer resident).
+pub fn supplier_of(
+    entry: &DirEntry,
+    mesif: bool,
+    owner_state: impl FnOnce(CoreId) -> Option<LineState>,
+) -> Option<CoreId> {
+    entry
+        .owner
+        .filter(|&o| mesif || owner_state(o).map(|s| s.can_supply_data()).unwrap_or(false))
+}
+
+/// The cores a transaction must communicate with: the remote supplier for a
+/// read, every other valid copy for a write or upgrade.
+pub fn transaction_targets(
+    kind: AccessKind,
+    requester: CoreId,
+    entry: &DirEntry,
+    supplier: Option<CoreId>,
+) -> CoreSet {
+    match kind {
+        AccessKind::Read => match supplier {
+            Some(o) if o != requester => CoreSet::single(o),
+            _ => CoreSet::empty(),
+        },
+        AccessKind::Write | AccessKind::Upgrade => entry.write_targets(requester),
+    }
+}
+
+/// How the directory entry changes when a transaction commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirUpdate {
+    /// Requester becomes owner and sole sharer (write/upgrade, or a read
+    /// that found the block uncached).
+    Exclusive,
+    /// Requester joins the sharers and becomes the Forward-state owner
+    /// (MESIF read of a cached block).
+    Shared,
+    /// Requester joins the sharers; no cache supplies afterwards (plain
+    /// MESI read of a cached block).
+    SharedNoForward,
+}
+
+/// The state changes a coherence transaction commits, as pure data.
+///
+/// Produced by [`commit_plan`]; applied to real caches by the machine and
+/// to abstract states by the model checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitPlan {
+    /// The requester's line state after the transaction.
+    pub requester_state: LineState,
+    /// Whether the line is newly installed in the requester's cache
+    /// (`false` for upgrades, which mutate a resident line in place).
+    pub installs_line: bool,
+    /// A previous owner that degrades to a plain sharer, writing back first
+    /// if dirty (read path only).
+    pub downgraded_owner: Option<CoreId>,
+    /// Remote copies that must be invalidated (write/upgrade path only).
+    pub invalidated: CoreSet,
+    /// The directory-side record of the transaction.
+    pub dir_update: DirUpdate,
+}
+
+/// Signature of [`commit_plan`], so the model checker can be pointed at a
+/// deliberately broken transition table in regression tests.
+pub type CommitFn = fn(AccessKind, CoreId, &DirEntry, bool, CoreSet) -> CommitPlan;
+
+/// Computes the commit-time state transition for one coherence transaction.
+///
+/// `entry` is the directory's view *before* the transaction, `targets` the
+/// set from [`transaction_targets`], and `mesif` selects clean forwarding.
+///
+/// # Examples
+///
+/// ```
+/// use spcp_core::AccessKind;
+/// use spcp_mem::{DirEntry, LineState};
+/// use spcp_sim::{CoreId, CoreSet};
+/// use spcp_system::protocol::{commit_plan, DirUpdate};
+///
+/// // First read of an uncached block: requester gets it exclusively.
+/// let plan = commit_plan(
+///     AccessKind::Read,
+///     CoreId::new(0),
+///     &DirEntry::default(),
+///     true,
+///     CoreSet::empty(),
+/// );
+/// assert_eq!(plan.requester_state, LineState::Exclusive);
+/// assert_eq!(plan.dir_update, DirUpdate::Exclusive);
+/// ```
+pub fn commit_plan(
+    kind: AccessKind,
+    requester: CoreId,
+    entry: &DirEntry,
+    mesif: bool,
+    targets: CoreSet,
+) -> CommitPlan {
+    match kind {
+        AccessKind::Read => {
+            let alone = entry.sharers.is_empty();
+            CommitPlan {
+                requester_state: if alone {
+                    LineState::Exclusive
+                } else if mesif {
+                    LineState::Forward
+                } else {
+                    LineState::Shared
+                },
+                installs_line: true,
+                downgraded_owner: entry.owner.filter(|&o| o != requester),
+                invalidated: CoreSet::empty(),
+                dir_update: if alone {
+                    DirUpdate::Exclusive
+                } else if mesif {
+                    DirUpdate::Shared
+                } else {
+                    DirUpdate::SharedNoForward
+                },
+            }
+        }
+        AccessKind::Write | AccessKind::Upgrade => CommitPlan {
+            requester_state: LineState::Modified,
+            installs_line: kind == AccessKind::Write,
+            downgraded_owner: None,
+            invalidated: targets,
+            dir_update: DirUpdate::Exclusive,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn entry(owner: Option<usize>, sharers: &[usize]) -> DirEntry {
+        DirEntry {
+            owner: owner.map(CoreId::new),
+            sharers: sharers.iter().map(|&i| CoreId::new(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn mesif_owner_always_supplies() {
+        let e = entry(Some(3), &[3, 5]);
+        assert_eq!(supplier_of(&e, true, |_| None), Some(core(3)));
+    }
+
+    #[test]
+    fn mesi_owner_supplies_only_from_supplying_state() {
+        let e = entry(Some(3), &[3, 5]);
+        assert_eq!(
+            supplier_of(&e, false, |_| Some(LineState::Modified)),
+            Some(core(3))
+        );
+        assert_eq!(supplier_of(&e, false, |_| Some(LineState::Shared)), None);
+        assert_eq!(supplier_of(&e, false, |_| None), None);
+    }
+
+    #[test]
+    fn read_targets_remote_supplier_only() {
+        let e = entry(Some(2), &[2]);
+        assert_eq!(
+            transaction_targets(AccessKind::Read, core(0), &e, Some(core(2))),
+            CoreSet::single(core(2))
+        );
+        // The supplier itself (impossible in practice) and the no-supplier
+        // case both resolve from memory.
+        assert!(transaction_targets(AccessKind::Read, core(2), &e, Some(core(2))).is_empty());
+        assert!(transaction_targets(AccessKind::Read, core(0), &e, None).is_empty());
+    }
+
+    #[test]
+    fn write_targets_every_other_sharer() {
+        let e = entry(Some(2), &[1, 2, 4]);
+        let t = transaction_targets(AccessKind::Write, core(1), &e, Some(core(2)));
+        assert_eq!(t, e.write_targets(core(1)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let plan = commit_plan(
+            AccessKind::Read,
+            core(0),
+            &DirEntry::default(),
+            true,
+            CoreSet::empty(),
+        );
+        assert_eq!(plan.requester_state, LineState::Exclusive);
+        assert_eq!(plan.dir_update, DirUpdate::Exclusive);
+        assert!(plan.installs_line);
+        assert_eq!(plan.downgraded_owner, None);
+        assert!(plan.invalidated.is_empty());
+    }
+
+    #[test]
+    fn shared_read_forwards_under_mesif_only() {
+        let e = entry(Some(2), &[2]);
+        let mesif = commit_plan(
+            AccessKind::Read,
+            core(0),
+            &e,
+            true,
+            CoreSet::single(core(2)),
+        );
+        assert_eq!(mesif.requester_state, LineState::Forward);
+        assert_eq!(mesif.dir_update, DirUpdate::Shared);
+        assert_eq!(mesif.downgraded_owner, Some(core(2)));
+
+        let mesi = commit_plan(AccessKind::Read, core(0), &e, false, CoreSet::empty());
+        assert_eq!(mesi.requester_state, LineState::Shared);
+        assert_eq!(mesi.dir_update, DirUpdate::SharedNoForward);
+        assert_eq!(mesi.downgraded_owner, Some(core(2)));
+    }
+
+    #[test]
+    fn read_does_not_downgrade_self() {
+        let e = entry(Some(0), &[0, 1]);
+        let plan = commit_plan(AccessKind::Read, core(0), &e, true, CoreSet::empty());
+        assert_eq!(plan.downgraded_owner, None);
+    }
+
+    #[test]
+    fn write_invalidates_targets_and_takes_ownership() {
+        let e = entry(Some(2), &[1, 2, 4]);
+        let targets = e.write_targets(core(1));
+        let plan = commit_plan(AccessKind::Write, core(1), &e, true, targets);
+        assert_eq!(plan.requester_state, LineState::Modified);
+        assert_eq!(plan.dir_update, DirUpdate::Exclusive);
+        assert_eq!(plan.invalidated, targets);
+        assert!(plan.installs_line);
+    }
+
+    #[test]
+    fn upgrade_mutates_in_place() {
+        let e = entry(Some(1), &[1, 3]);
+        let targets = e.write_targets(core(1));
+        let plan = commit_plan(AccessKind::Upgrade, core(1), &e, true, targets);
+        assert_eq!(plan.requester_state, LineState::Modified);
+        assert!(!plan.installs_line);
+        assert_eq!(plan.invalidated, CoreSet::single(core(3)));
+    }
+}

@@ -1,0 +1,35 @@
+//! Protocol verification for the SPCP simulator.
+//!
+//! The paper's safety argument — a *sufficient* destination-set prediction
+//! is a superset of the true coherence targets, so racing the directory can
+//! never break the protocol — is only as strong as the protocol transition
+//! functions themselves. This crate checks them directly instead of
+//! sampling end-to-end outputs:
+//!
+//! * [`model`] — an exhaustive BFS model checker over small configurations
+//!   (2–4 cores × 1–2 lines) driven by the *same*
+//!   [`spcp_system::protocol`] transition functions the timing simulator
+//!   executes, verifying SWMR, single-Forwarder, directory/cache
+//!   agreement, and data-value invariants, with counterexample traces on
+//!   violation;
+//! * [`race`] — a happens-before analyzer over recorded
+//!   [`spcp_trace::TraceEvent`] streams that flags communicating misses
+//!   whose producer/consumer pair is not ordered by synchronization — a
+//!   direct audit of the paper's claim that communication is localized
+//!   within sync-epochs.
+//!
+//! The third verification layer — runtime invariant audits after every
+//! transaction — lives in `spcp-system` itself (see
+//! [`spcp_system::CmpSystem::run_workload_checked`]) because it needs the
+//! machine's internals; `spcp check` drives all three.
+//!
+//! See `docs/VERIFY.md` for the invariant catalog and how to read
+//! counterexample traces.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod race;
+
+pub use model::{CheckStats, Counterexample, ModelAction, ModelChecker, ModelConfig};
+pub use race::{analyze_races, RaceFinding, RaceReport};

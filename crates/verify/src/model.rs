@@ -1,0 +1,850 @@
+//! Exhaustive MESIF/MESI model checker.
+//!
+//! Enumerates every reachable global state of a small configuration —
+//! per-core line states, a real [`Directory`], and data-freshness ghost
+//! bits — under all interleavings of reads, writes, and evictions, using
+//! the *production* transition functions from [`spcp_system::protocol`].
+//! Every visited state is checked against the invariant catalog; a
+//! violation yields a [`Counterexample`]: the shortest action sequence from
+//! the reset state to the broken one, with the full state rendered at each
+//! step.
+//!
+//! Transactions in the simulator are atomic (the globally time-ordered run
+//! loop commits each miss before the next begins), so there are no
+//! transient protocol states to deadlock in; the no-stuck-state obligation
+//! reduces to *totality* — every action must be applicable in every
+//! reachable state — which the checker also enforces.
+
+use spcp_core::AccessKind;
+use spcp_mem::{BlockAddr, Directory, LineState};
+use spcp_sim::{CoreId, CoreSet};
+use spcp_system::protocol::{self, CommitFn};
+use spcp_system::CoherenceVariant;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Renders a [`CoreSet`] as `{0, 2}` (the derived `Debug` shows raw bits).
+fn set_str(s: CoreSet) -> String {
+    let cores: Vec<String> = s.iter().map(|c| c.index().to_string()).collect();
+    format!("{{{}}}", cores.join(", "))
+}
+
+/// Largest core count the checker accepts (state keys stay within `u64`).
+pub const MAX_MODEL_CORES: usize = 4;
+/// Largest line count the checker accepts.
+pub const MAX_MODEL_LINES: usize = 2;
+
+/// A small configuration to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of cores (2–4).
+    pub cores: usize,
+    /// Number of cache lines (1–2).
+    pub lines: usize,
+    /// Protocol family (MESIF or plain MESI).
+    pub variant: CoherenceVariant,
+    /// Additionally audit the ground truth behind predicted requests
+    /// racing the directory: at every miss the directory-computed target
+    /// set must equal the true set of remote valid copies (writes) and the
+    /// chosen supplier must actually be able to supply (reads). A
+    /// *sufficient* prediction (superset of the targets) is then safe by
+    /// construction.
+    pub predictor_race: bool,
+}
+
+impl ModelConfig {
+    /// The CI smoke configuration: 2 cores × 1 line, MESIF.
+    pub fn small() -> Self {
+        ModelConfig {
+            cores: 2,
+            lines: 1,
+            variant: CoherenceVariant::Mesif,
+            predictor_race: false,
+        }
+    }
+}
+
+/// One atomic step a core can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelAction {
+    /// A load: hit if the line is valid, otherwise a read miss.
+    Read {
+        /// Acting core.
+        core: usize,
+        /// Target line.
+        line: usize,
+    },
+    /// A store: silent on M, upgrade on E/S/F, write miss on I.
+    Write {
+        /// Acting core.
+        core: usize,
+        /// Target line.
+        line: usize,
+    },
+    /// A capacity eviction of the line (no-op when not resident).
+    Evict {
+        /// Acting core.
+        core: usize,
+        /// Target line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ModelAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelAction::Read { core, line } => write!(f, "core {core} reads line {line}"),
+            ModelAction::Write { core, line } => write!(f, "core {core} writes line {line}"),
+            ModelAction::Evict { core, line } => write!(f, "core {core} evicts line {line}"),
+        }
+    }
+}
+
+/// A global protocol state: per-core line states, the directory, and the
+/// data-value ghost state (which copies hold the latest value, and whether
+/// memory does).
+#[derive(Clone)]
+struct ModelState {
+    /// `states[line * cores + core]`; Invalid ⇔ not resident.
+    states: Vec<LineState>,
+    dir: Directory,
+    /// Per line: cores whose cached copy holds the latest written value.
+    fresh: Vec<CoreSet>,
+    /// Per line: whether memory holds the latest value.
+    mem_fresh: Vec<bool>,
+}
+
+impl ModelState {
+    fn reset(cfg: &ModelConfig) -> Self {
+        ModelState {
+            states: vec![LineState::Invalid; cfg.cores * cfg.lines],
+            dir: Directory::new(cfg.cores),
+            fresh: vec![CoreSet::empty(); cfg.lines],
+            mem_fresh: vec![true; cfg.lines],
+        }
+    }
+
+    #[inline]
+    fn state(&self, cfg: &ModelConfig, line: usize, core: usize) -> LineState {
+        self.states[line * cfg.cores + core]
+    }
+
+    #[inline]
+    fn set_state(&mut self, cfg: &ModelConfig, line: usize, core: usize, s: LineState) {
+        self.states[line * cfg.cores + core] = s;
+    }
+
+    fn valid_set(&self, cfg: &ModelConfig, line: usize) -> CoreSet {
+        let mut v = CoreSet::empty();
+        for c in 0..cfg.cores {
+            if self.state(cfg, line, c).is_valid() {
+                v.insert(CoreId::new(c));
+            }
+        }
+        v
+    }
+
+    /// Canonical `u64` key; distinct states map to distinct keys for the
+    /// supported sizes (≤ 4 cores × ≤ 2 lines ⇒ ~2^42 key space).
+    fn key(&self, cfg: &ModelConfig) -> u64 {
+        let mut k: u64 = 0;
+        for line in 0..cfg.lines {
+            for core in 0..cfg.cores {
+                let code = match self.state(cfg, line, core) {
+                    LineState::Invalid => 0,
+                    LineState::Shared => 1,
+                    LineState::Exclusive => 2,
+                    LineState::Modified => 3,
+                    LineState::Forward => 4,
+                };
+                k = k * 5 + code;
+            }
+            let entry = self.dir.entry(block(line));
+            let owner_code = entry.owner.map(|o| o.index() as u64 + 1).unwrap_or(0);
+            k = k * (cfg.cores as u64 + 1) + owner_code;
+            let mask = (1u64 << cfg.cores) - 1;
+            k = (k << cfg.cores) | (entry.sharers.bits() & mask);
+            k = (k << cfg.cores) | (self.fresh[line].bits() & mask);
+            k = (k << 1) | self.mem_fresh[line] as u64;
+        }
+        k
+    }
+
+    fn render(&self, cfg: &ModelConfig) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for line in 0..cfg.lines {
+            let entry = self.dir.entry(block(line));
+            let states: String = (0..cfg.cores)
+                .map(|c| self.state(cfg, line, c).to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = write!(
+                out,
+                "  line {line}: caches [{states}]  dir owner={} sharers={}  fresh={} mem={}",
+                entry
+                    .owner
+                    .map(|o| o.index().to_string())
+                    .unwrap_or_else(|| "-".into()),
+                set_str(entry.sharers),
+                set_str(self.fresh[line]),
+                if self.mem_fresh[line] {
+                    "fresh"
+                } else {
+                    "stale"
+                },
+            );
+            if line + 1 < cfg.lines {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn block(line: usize) -> BlockAddr {
+    BlockAddr::from_index(line as u64)
+}
+
+/// Statistics of a successful exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct reachable global states.
+    pub states: usize,
+    /// Transitions explored (including self-loops and hits).
+    pub transitions: usize,
+}
+
+/// A shortest-path witness of an invariant violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The broken invariant.
+    pub message: String,
+    /// The action sequence from the reset state to the violation.
+    pub actions: Vec<ModelAction>,
+    /// Rendered state after each action (same length as `actions`), ending
+    /// in the violating state.
+    pub steps: Vec<String>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant violated: {}", self.message)?;
+        writeln!(
+            f,
+            "counterexample ({} steps from reset):",
+            self.actions.len()
+        )?;
+        for (i, (a, s)) in self.actions.iter().zip(&self.steps).enumerate() {
+            writeln!(f, "step {}: {a}", i + 1)?;
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The exhaustive checker. Construct with [`ModelChecker::new`], optionally
+/// swap the transition function with
+/// [`with_commit`](ModelChecker::with_commit) (regression tests point it at
+/// a deliberately broken table), then run [`check`](ModelChecker::check).
+#[derive(Debug, Clone)]
+pub struct ModelChecker {
+    cfg: ModelConfig,
+    commit: CommitFn,
+}
+
+impl ModelChecker {
+    /// Creates a checker for `cfg` using the production
+    /// [`protocol::commit_plan`] transition function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` exceeds [`MAX_MODEL_CORES`] / [`MAX_MODEL_LINES`]
+    /// (the canonical state encoding would overflow).
+    pub fn new(cfg: ModelConfig) -> Self {
+        assert!(
+            (2..=MAX_MODEL_CORES).contains(&cfg.cores),
+            "model cores must be 2..={MAX_MODEL_CORES}"
+        );
+        assert!(
+            (1..=MAX_MODEL_LINES).contains(&cfg.lines),
+            "model lines must be 1..={MAX_MODEL_LINES}"
+        );
+        ModelChecker {
+            cfg,
+            commit: protocol::commit_plan,
+        }
+    }
+
+    /// Replaces the transition function (for broken-table regression
+    /// tests).
+    pub fn with_commit(mut self, commit: CommitFn) -> Self {
+        self.commit = commit;
+        self
+    }
+
+    /// BFS-enumerates every reachable state, checking each against the
+    /// invariant catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortest [`Counterexample`] to the first violated
+    /// invariant.
+    pub fn check(&self) -> Result<CheckStats, Box<Counterexample>> {
+        struct Node {
+            state: ModelState,
+            parent: Option<(usize, ModelAction)>,
+        }
+
+        let cfg = &self.cfg;
+        let mut actions = Vec::new();
+        for core in 0..cfg.cores {
+            for line in 0..cfg.lines {
+                actions.push(ModelAction::Read { core, line });
+                actions.push(ModelAction::Write { core, line });
+                actions.push(ModelAction::Evict { core, line });
+            }
+        }
+
+        let root = ModelState::reset(cfg);
+        if let Err(message) = self.check_state(&root) {
+            return Err(Box::new(Counterexample {
+                message,
+                actions: Vec::new(),
+                steps: Vec::new(),
+            }));
+        }
+        let mut nodes = vec![Node {
+            state: root,
+            parent: None,
+        }];
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(nodes[0].state.key(cfg));
+        let mut frontier = 0usize;
+        let mut transitions = 0usize;
+
+        let trace_of = |nodes: &[Node], mut idx: usize, last: ModelAction| {
+            let mut actions = vec![last];
+            while let Some((p, a)) = nodes[idx].parent {
+                actions.push(a);
+                idx = p;
+            }
+            actions.reverse();
+            actions
+        };
+
+        while frontier < nodes.len() {
+            for &action in &actions {
+                transitions += 1;
+                let stepped = match self.apply(&nodes[frontier].state, action) {
+                    Ok(s) => s,
+                    Err(message) => {
+                        return Err(
+                            self.counterexample(message, trace_of(&nodes, frontier, action))
+                        );
+                    }
+                };
+                let Some(next) = stepped else {
+                    continue; // hit or no-op: no state change
+                };
+                let key = next.key(cfg);
+                if seen.contains(&key) {
+                    continue;
+                }
+                if let Err(message) = self.check_state(&next) {
+                    return Err(self.counterexample(message, trace_of(&nodes, frontier, action)));
+                }
+                seen.insert(key);
+                nodes.push(Node {
+                    state: next,
+                    parent: Some((frontier, action)),
+                });
+            }
+            frontier += 1;
+        }
+
+        Ok(CheckStats {
+            states: nodes.len(),
+            transitions,
+        })
+    }
+
+    /// Rebuilds the violating run by replaying `actions` from reset,
+    /// rendering each intermediate state.
+    fn counterexample(&self, message: String, actions: Vec<ModelAction>) -> Box<Counterexample> {
+        let mut steps = Vec::with_capacity(actions.len());
+        let mut state = ModelState::reset(&self.cfg);
+        for &a in &actions {
+            // The final action may be the one that fails to apply; the
+            // last rendered state is then the pre-action state.
+            if let Ok(Some(next)) = self.apply(&state, a) {
+                state = next;
+            }
+            steps.push(state.render(&self.cfg));
+        }
+        Box::new(Counterexample {
+            message,
+            actions,
+            steps,
+        })
+    }
+
+    /// Applies one action. `Ok(None)` means the action completed without
+    /// a coherence transaction (cache hit / eviction of a non-resident
+    /// line). `Err` is a transition-time violation: a data source that
+    /// would supply stale data, a directory target set that disagrees with
+    /// ground truth (predictor-race mode), or an inapplicable commit plan.
+    fn apply(&self, s: &ModelState, action: ModelAction) -> Result<Option<ModelState>, String> {
+        let cfg = &self.cfg;
+        let mesif = cfg.variant == CoherenceVariant::Mesif;
+        match action {
+            ModelAction::Read { core, line } => {
+                if s.state(cfg, line, core).is_valid() {
+                    return Ok(None); // hit
+                }
+                let entry = s.dir.entry(block(line));
+                let supplier = protocol::supplier_of(&entry, mesif, |o| {
+                    let st = s.state(cfg, line, o.index());
+                    st.is_valid().then_some(st)
+                });
+                let requester = CoreId::new(core);
+                let targets =
+                    protocol::transaction_targets(AccessKind::Read, requester, &entry, supplier);
+                self.audit_targets(s, line, AccessKind::Read, requester, supplier, targets)?;
+                let source = supplier.filter(|&o| o != requester);
+                self.check_source(s, line, action, source)?;
+                let plan = (self.commit)(AccessKind::Read, requester, &entry, mesif, targets);
+
+                let mut next = s.clone();
+                if let Some(o) = plan.downgraded_owner {
+                    let old = next.state(cfg, line, o.index());
+                    if old.is_valid() {
+                        if old.needs_writeback() {
+                            next.mem_fresh[line] = true;
+                        }
+                        next.set_state(cfg, line, o.index(), LineState::Shared);
+                    }
+                }
+                self.invalidate(&mut next, line, plan.invalidated);
+                if !plan.installs_line {
+                    return Err(format!(
+                        "{action}: commit plan upgrades a non-resident line in place"
+                    ));
+                }
+                next.set_state(cfg, line, core, plan.requester_state);
+                next.fresh[line].insert(requester);
+                self.record_dir(&mut next, line, requester, plan.dir_update);
+                Ok(Some(next))
+            }
+            ModelAction::Write { core, line } => {
+                let requester = CoreId::new(core);
+                match s.state(cfg, line, core) {
+                    LineState::Modified | LineState::Exclusive => {
+                        // Silent store (E upgrades to M without traffic).
+                        let mut next = s.clone();
+                        next.set_state(cfg, line, core, LineState::Modified);
+                        next.fresh[line] = CoreSet::single(requester);
+                        next.mem_fresh[line] = false;
+                        Ok(Some(next))
+                    }
+                    st => {
+                        let kind = if st.is_valid() {
+                            AccessKind::Upgrade
+                        } else {
+                            AccessKind::Write
+                        };
+                        let entry = s.dir.entry(block(line));
+                        let supplier = protocol::supplier_of(&entry, mesif, |o| {
+                            let st = s.state(cfg, line, o.index());
+                            st.is_valid().then_some(st)
+                        });
+                        let targets =
+                            protocol::transaction_targets(kind, requester, &entry, supplier);
+                        self.audit_targets(s, line, kind, requester, supplier, targets)?;
+                        if kind == AccessKind::Write {
+                            // A write miss fetches the line before
+                            // modifying it; the fetch must not be stale.
+                            let source = supplier.filter(|&o| o != requester);
+                            self.check_source(s, line, action, source)?;
+                        }
+                        let plan = (self.commit)(kind, requester, &entry, mesif, targets);
+
+                        let mut next = s.clone();
+                        if let Some(o) = plan.downgraded_owner {
+                            let old = next.state(cfg, line, o.index());
+                            if old.is_valid() {
+                                if old.needs_writeback() {
+                                    next.mem_fresh[line] = true;
+                                }
+                                next.set_state(cfg, line, o.index(), LineState::Shared);
+                            }
+                        }
+                        self.invalidate(&mut next, line, plan.invalidated);
+                        if !plan.installs_line && !next.state(cfg, line, core).is_valid() {
+                            return Err(format!(
+                                "{action}: commit plan upgrades a non-resident line in place"
+                            ));
+                        }
+                        next.set_state(cfg, line, core, plan.requester_state);
+                        // The store produces a new value: only the writer
+                        // is fresh, memory goes stale.
+                        next.fresh[line] = CoreSet::single(requester);
+                        next.mem_fresh[line] = false;
+                        self.record_dir(&mut next, line, requester, plan.dir_update);
+                        Ok(Some(next))
+                    }
+                }
+            }
+            ModelAction::Evict { core, line } => {
+                let st = s.state(cfg, line, core);
+                if !st.is_valid() {
+                    return Ok(None);
+                }
+                let requester = CoreId::new(core);
+                let mut next = s.clone();
+                if st.needs_writeback() {
+                    next.mem_fresh[line] = true;
+                }
+                next.set_state(cfg, line, core, LineState::Invalid);
+                next.fresh[line].remove(requester);
+                next.dir.record_drop(block(line), requester);
+                Ok(Some(next))
+            }
+        }
+    }
+
+    /// Drops every core in `set` from the line (remote invalidation).
+    fn invalidate(&self, s: &mut ModelState, line: usize, set: CoreSet) {
+        for v in set.iter() {
+            s.set_state(&self.cfg, line, v.index(), LineState::Invalid);
+            s.fresh[line].remove(v);
+        }
+    }
+
+    fn record_dir(
+        &self,
+        s: &mut ModelState,
+        line: usize,
+        requester: CoreId,
+        update: protocol::DirUpdate,
+    ) {
+        match update {
+            protocol::DirUpdate::Exclusive => s.dir.record_exclusive(block(line), requester),
+            protocol::DirUpdate::Shared => s.dir.record_shared(block(line), requester),
+            protocol::DirUpdate::SharedNoForward => {
+                s.dir.record_shared_no_forward(block(line), requester)
+            }
+        }
+    }
+
+    /// Transition-time data-value check: the cache chosen to supply data
+    /// must hold the latest value; a memory-serviced miss requires memory
+    /// to be current.
+    fn check_source(
+        &self,
+        s: &ModelState,
+        line: usize,
+        action: ModelAction,
+        source: Option<CoreId>,
+    ) -> Result<(), String> {
+        match source {
+            Some(o) => {
+                if !s.fresh[line].contains(o) {
+                    return Err(format!(
+                        "data-value: {action} is served stale data by core {}",
+                        o.index()
+                    ));
+                }
+            }
+            None => {
+                if !s.mem_fresh[line] {
+                    return Err(format!(
+                        "data-value: {action} is served stale data by memory \
+                         (a dirty copy exists but the directory found no supplier)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Predictor-race ground-truth audit (see
+    /// [`ModelConfig::predictor_race`]).
+    fn audit_targets(
+        &self,
+        s: &ModelState,
+        line: usize,
+        kind: AccessKind,
+        requester: CoreId,
+        supplier: Option<CoreId>,
+        targets: CoreSet,
+    ) -> Result<(), String> {
+        if !self.cfg.predictor_race {
+            return Ok(());
+        }
+        match kind {
+            AccessKind::Write | AccessKind::Upgrade => {
+                let mut truly_stale = s.valid_set(&self.cfg, line);
+                truly_stale.remove(requester);
+                if targets != truly_stale {
+                    return Err(format!(
+                        "predictor-race: directory targets {} for a {kind:?} by core \
+                         {} disagree with the remote valid copies {} — a \
+                         sufficient prediction would skip an invalidation",
+                        set_str(targets),
+                        requester.index(),
+                        set_str(truly_stale)
+                    ));
+                }
+            }
+            AccessKind::Read => {
+                // The supplier must hold a *valid* copy. Note S suffices:
+                // when the Forward owner evicts, `Directory::record_drop`
+                // deliberately promotes a remaining (Shared) sharer to
+                // clean-forwarder, so `can_supply_data` on the MESIF state
+                // alone would be too strict. Freshness of the supplied
+                // data is checked separately by `check_source` (I4).
+                if let Some(o) = supplier.filter(|&o| o != requester) {
+                    if !s.state(&self.cfg, line, o.index()).is_valid() {
+                        return Err(format!(
+                            "predictor-race: predicted supplier core {} holds no valid \
+                             copy (state {})",
+                            o.index(),
+                            s.state(&self.cfg, line, o.index())
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-state invariant catalog (I1–I4 of `docs/VERIFY.md`).
+    fn check_state(&self, s: &ModelState) -> Result<(), String> {
+        let cfg = &self.cfg;
+        for line in 0..cfg.lines {
+            let mut valid = CoreSet::empty();
+            let mut writable = CoreSet::empty();
+            let mut suppliers = CoreSet::empty();
+            let mut dirty = false;
+            for core in 0..cfg.cores {
+                let st = s.state(cfg, line, core);
+                if st.is_valid() {
+                    valid.insert(CoreId::new(core));
+                    if st.is_writable() {
+                        writable.insert(CoreId::new(core));
+                    }
+                    if st.can_supply_data() {
+                        suppliers.insert(CoreId::new(core));
+                    }
+                    dirty |= st.needs_writeback();
+                }
+            }
+            // I1: single writer OR multiple readers (SWMR).
+            if writable.len() > 1 || (!writable.is_empty() && valid.len() > 1) {
+                return Err(format!(
+                    "SWMR: line {line} has writable copies at {} alongside valid \
+                     copies at {}",
+                    set_str(writable),
+                    set_str(valid)
+                ));
+            }
+            // I2: at most one M/E/F supplier.
+            if suppliers.len() > 1 {
+                return Err(format!(
+                    "single-Forwarder: line {line} has {} simultaneous suppliers ({})",
+                    suppliers.len(),
+                    set_str(suppliers)
+                ));
+            }
+            // I3: directory/cache agreement.
+            let entry = s.dir.entry(block(line));
+            if entry.sharers != valid {
+                return Err(format!(
+                    "dir-agreement: line {line} directory sharers {} != cached copies {}",
+                    set_str(entry.sharers),
+                    set_str(valid)
+                ));
+            }
+            if let Some(sup) = suppliers.iter().next() {
+                if entry.owner != Some(sup) {
+                    return Err(format!(
+                        "dir-agreement: line {line} supplier core {} is not the directory \
+                         owner ({:?})",
+                        sup.index(),
+                        entry.owner
+                    ));
+                }
+            }
+            if let Some(o) = entry.owner {
+                if !entry.sharers.contains(o) {
+                    return Err(format!(
+                        "dir-agreement: line {line} owner core {} is not a sharer",
+                        o.index()
+                    ));
+                }
+            }
+            // I4: data-value — every valid copy holds the latest value, and
+            // the latest value survives somewhere (a dirty copy or memory).
+            if !s.fresh[line].is_superset(valid) {
+                let stale = valid.difference(s.fresh[line]);
+                return Err(format!(
+                    "data-value: line {line} has valid but stale copies at {}",
+                    set_str(stale)
+                ));
+            }
+            if !dirty && !s.mem_fresh[line] {
+                return Err(format!(
+                    "data-value: line {line} has no dirty copy yet memory is stale — the \
+                     latest value was lost"
+                ));
+            }
+        }
+        // Directory hygiene: no tracked entry without sharers.
+        for (b, e) in s.dir.iter() {
+            if e.sharers.is_empty() {
+                return Err(format!("dir-agreement: {b} tracked with no sharers"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcp_mem::DirEntry;
+    use spcp_system::protocol::{CommitPlan, DirUpdate};
+
+    #[test]
+    fn two_core_one_line_mesif_is_clean() {
+        let stats = ModelChecker::new(ModelConfig::small())
+            .check()
+            .unwrap_or_else(|ce| panic!("{ce}"));
+        // 2 cores x 1 line reaches a small but nontrivial space.
+        assert!(stats.states > 5, "only {} states reached", stats.states);
+        assert!(stats.transitions > stats.states);
+    }
+
+    #[test]
+    fn mesi_variant_is_clean() {
+        let cfg = ModelConfig {
+            variant: CoherenceVariant::Mesi,
+            ..ModelConfig::small()
+        };
+        ModelChecker::new(cfg)
+            .check()
+            .unwrap_or_else(|ce| panic!("{ce}"));
+    }
+
+    #[test]
+    fn larger_configs_are_clean() {
+        for (cores, lines) in [(3, 1), (2, 2), (4, 1), (4, 2)] {
+            for variant in [CoherenceVariant::Mesif, CoherenceVariant::Mesi] {
+                let cfg = ModelConfig {
+                    cores,
+                    lines,
+                    variant,
+                    predictor_race: false,
+                };
+                let stats = ModelChecker::new(cfg)
+                    .check()
+                    .unwrap_or_else(|ce| panic!("{cores}x{lines} {variant:?}: {ce}"));
+                assert!(stats.states > 10);
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_race_audit_is_clean() {
+        for cores in 2..=4 {
+            let cfg = ModelConfig {
+                cores,
+                lines: 1,
+                variant: CoherenceVariant::Mesif,
+                predictor_race: true,
+            };
+            ModelChecker::new(cfg)
+                .check()
+                .unwrap_or_else(|ce| panic!("{ce}"));
+        }
+    }
+
+    /// A deliberately broken transition table: writes take ownership but
+    /// never invalidate the other sharers.
+    fn broken_no_invalidate(
+        kind: AccessKind,
+        requester: CoreId,
+        entry: &DirEntry,
+        mesif: bool,
+        targets: CoreSet,
+    ) -> CommitPlan {
+        let mut plan = protocol::commit_plan(kind, requester, entry, mesif, targets);
+        if matches!(kind, AccessKind::Write | AccessKind::Upgrade) {
+            plan.invalidated = CoreSet::empty();
+        }
+        plan
+    }
+
+    #[test]
+    fn broken_write_path_yields_swmr_counterexample() {
+        let err = ModelChecker::new(ModelConfig::small())
+            .with_commit(broken_no_invalidate)
+            .check()
+            .expect_err("a write that skips invalidation must violate an invariant");
+        // The stale copy is caught either as a second valid copy next to a
+        // writable one (SWMR) or as a valid-but-stale copy (data-value),
+        // whichever state BFS reaches first.
+        assert!(
+            err.message.contains("SWMR") || err.message.contains("data-value"),
+            "unexpected violation: {}",
+            err.message
+        );
+        assert!(!err.actions.is_empty(), "counterexample must carry a trace");
+        assert_eq!(err.actions.len(), err.steps.len());
+        // The printout ends at the violating state.
+        let rendered = err.to_string();
+        assert!(rendered.contains("counterexample"), "{rendered}");
+    }
+
+    /// A broken directory update: reads of a cached line record no owner
+    /// even under MESIF, stranding the F-state copy outside the directory.
+    fn broken_forward_bookkeeping(
+        kind: AccessKind,
+        requester: CoreId,
+        entry: &DirEntry,
+        mesif: bool,
+        targets: CoreSet,
+    ) -> CommitPlan {
+        let mut plan = protocol::commit_plan(kind, requester, entry, mesif, targets);
+        if kind == AccessKind::Read && plan.dir_update == DirUpdate::Shared {
+            plan.dir_update = DirUpdate::SharedNoForward;
+        }
+        plan
+    }
+
+    #[test]
+    fn broken_forward_bookkeeping_caught_by_dir_agreement() {
+        let err = ModelChecker::new(ModelConfig::small())
+            .with_commit(broken_forward_bookkeeping)
+            .check()
+            .expect_err("an F copy the directory forgot must violate agreement");
+        assert!(
+            err.message.contains("dir-agreement"),
+            "unexpected violation: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn config_bounds_enforced() {
+        let result = std::panic::catch_unwind(|| {
+            ModelChecker::new(ModelConfig {
+                cores: 5,
+                ..ModelConfig::small()
+            })
+        });
+        assert!(result.is_err());
+    }
+}

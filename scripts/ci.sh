@@ -19,6 +19,9 @@ fi
 step "clippy (workspace, -D warnings)"
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
+    # The coherence substrate must not panic on lookup failures: every
+    # unwrap in spcp-mem/spcp-noc library code is a latent protocol bug.
+    cargo clippy -p spcp-mem -p spcp-noc --offline -- -D warnings -W clippy::unwrap_used
 else
     echo "clippy not installed; skipping"
 fi
@@ -33,6 +36,12 @@ cargo test -q --workspace --offline
 
 step "golden snapshot verify"
 cargo test -q --offline --test golden_regression
+
+step "invariant layer: workspace tests with runtime audits compiled in"
+cargo test -q --offline --features invariants
+
+step "model checker smoke: exhaustive 2-core x 1-line enumeration"
+cargo run --release --offline -p spcp-cli -- check --model --cores 2 --lines 1
 
 echo
 echo "CI passed."

@@ -12,7 +12,9 @@
 //! * [`trace`] — miss/sync-point traces + trace-driven characterization;
 //! * [`system`] — the 16-core CMP timing simulator tying it all together;
 //! * [`harness`] — parallel sweep engine + golden-snapshot regression
-//!   support (see `docs/HARNESS.md`).
+//!   support (see `docs/HARNESS.md`);
+//! * [`verify`] — exhaustive protocol model checker + sync-epoch race
+//!   analysis (see `docs/VERIFY.md`).
 
 #![warn(missing_docs)]
 
@@ -25,4 +27,5 @@ pub use spcp_sim as sim;
 pub use spcp_sync as sync;
 pub use spcp_system as system;
 pub use spcp_trace as trace;
+pub use spcp_verify as verify;
 pub use spcp_workloads as workloads;

@@ -260,6 +260,56 @@ fn prediction_accounting_is_consistent() {
     }
 }
 
+/// The runtime invariant layer (directory/cache agreement, NoC accounting,
+/// epoch-volume conservation after every transaction) accepts arbitrary
+/// well-formed programs under every protocol engine.
+#[test]
+fn random_programs_pass_runtime_audits() {
+    if !spcp::system::invariants_compiled() {
+        // Release build without `--features invariants`: the audit layer
+        // is compiled out and there is nothing to exercise.
+        return;
+    }
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let program = random_program(&mut rng, 4);
+        let w = lower(&program, 4);
+        for proto in [
+            ProtocolKind::Directory,
+            ProtocolKind::Broadcast,
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+            ProtocolKind::MulticastSnoop(PredictorKind::sp_default()),
+        ] {
+            let cfg = RunConfig::new(small_machine(), proto);
+            if let Err(v) = CmpSystem::run_workload_checked(&w, &cfg) {
+                panic!("case {case}: {v}\nprogram: {program:?}");
+            }
+        }
+    }
+}
+
+/// Audited runs produce the same statistics as unaudited runs: the
+/// invariant layer observes, never perturbs.
+#[test]
+fn runtime_audits_do_not_perturb_results() {
+    if !spcp::system::invariants_compiled() {
+        return;
+    }
+    for case in 0..4 {
+        let mut rng = case_rng(7, case);
+        let w = lower(&random_program(&mut rng, 4), 4);
+        let cfg = RunConfig::new(
+            small_machine(),
+            ProtocolKind::Predicted(PredictorKind::sp_default()),
+        );
+        let plain = CmpSystem::run_workload(&w, &cfg);
+        let checked = CmpSystem::run_workload_checked(&w, &cfg).expect("clean program");
+        assert_eq!(plain.exec_cycles, checked.exec_cycles, "case {case}");
+        assert_eq!(plain.noc.byte_hops, checked.noc.byte_hops, "case {case}");
+        assert_eq!(plain.comm_matrix, checked.comm_matrix, "case {case}");
+    }
+}
+
 // ---------------- Recorded regressions ----------------
 //
 // Explicit replays of the cases proptest once minimized into

@@ -1,4 +1,4 @@
-//! Golden-snapshot regression tests: 6 benchmarks × 4 protocols at the
+//! Golden-snapshot regression tests: 8 benchmarks × 4 protocols at the
 //! fixed figure seed, snapshotted under `tests/golden/`. Any change to
 //! simulator behavior shows up as a precise line diff.
 //!
@@ -18,7 +18,16 @@ use spcp::harness::{golden, RunMatrix, SweepEngine};
 use spcp::system::{PredictorKind, ProtocolKind};
 use spcp::workloads::suite;
 
-const GOLDEN_BENCHES: [&str; 6] = ["fft", "lu", "x264", "radix", "ocean", "streamcluster"];
+const GOLDEN_BENCHES: [&str; 8] = [
+    "fft",
+    "lu",
+    "x264",
+    "radix",
+    "ocean",
+    "streamcluster",
+    "bodytrack",
+    "fluidanimate",
+];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -76,6 +85,16 @@ fn golden_ocean() {
 #[test]
 fn golden_streamcluster() {
     check_bench(GOLDEN_BENCHES[5]);
+}
+
+#[test]
+fn golden_bodytrack() {
+    check_bench(GOLDEN_BENCHES[6]);
+}
+
+#[test]
+fn golden_fluidanimate() {
+    check_bench(GOLDEN_BENCHES[7]);
 }
 
 /// The golden files themselves stay well-formed: header line, one `[run …]`
