@@ -6,9 +6,9 @@
 //! as one harness matrix fanned across `--jobs` workers; rows are then
 //! printed from the collected results in the original order.
 
-use spcp_bench::{header, jobs_arg, mean, SEED};
+use spcp_bench::{header, jobs_arg, mean, run_matrix, StreamOpts, SEED};
 use spcp_core::SpConfig;
-use spcp_harness::{RunMatrix, SweepEngine, SweepResult};
+use spcp_harness::{RunMatrix, SweepResult};
 use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
@@ -184,8 +184,7 @@ fn main() {
             );
         }
     }
-    let result = SweepEngine::new(jobs_arg()).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
+    let result = run_matrix(&matrix, jobs_arg(), &StreamOpts::from_env_args());
 
     for (si, sec) in sections.iter().enumerate() {
         println!("\n{}", sec.title);

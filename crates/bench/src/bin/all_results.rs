@@ -6,8 +6,8 @@
 //! `--jobs N` to bound it. Row order is the canonical matrix order
 //! (benchmark-major, protocols inner) regardless of worker scheduling.
 
-use spcp_bench::{jobs_arg, CORES, SEED};
-use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_bench::{jobs_arg, run_matrix, StreamOpts, CORES, SEED};
+use spcp_harness::RunMatrix;
 use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
@@ -40,8 +40,7 @@ fn main() {
     for (label, proto) in protocols() {
         matrix = matrix.protocol(label, proto);
     }
-    let result = SweepEngine::new(jobs_arg()).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
+    let result = run_matrix(&matrix, jobs_arg(), &StreamOpts::from_env_args());
 
     println!(
         "benchmark,protocol,seed,cores,exec_cycles,l2_misses,comm_misses,noncomm_misses,\

@@ -6,8 +6,8 @@
 //! All four machine sizes run as one `spcp-harness` matrix; pass
 //! `--jobs N` to bound the worker pool.
 
-use spcp_bench::{header, jobs_arg, mean, SEED};
-use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_bench::{header, jobs_arg, mean, run_matrix, StreamOpts, SEED};
+use spcp_harness::RunMatrix;
 use spcp_noc::NocConfig;
 use spcp_system::{MachineConfig, PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
@@ -36,8 +36,7 @@ fn main() {
         };
         matrix = matrix.machine(format!("{n}c"), machine);
     }
-    let result = SweepEngine::new(jobs_arg()).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
+    let result = run_matrix(&matrix, jobs_arg(), &StreamOpts::from_env_args());
 
     println!(
         "{:<7} {:>10} {:>11} {:>12} {:>16}",

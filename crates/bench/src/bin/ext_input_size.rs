@@ -9,8 +9,8 @@
 //! their benchmark name, so factors cannot share one); pass `--jobs N`
 //! to bound the worker pool.
 
-use spcp_bench::{header, jobs_arg, mean, SEED};
-use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_bench::{header, jobs_arg, mean, run_matrix, StreamOpts, SEED};
+use spcp_harness::RunMatrix;
 use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
@@ -26,7 +26,10 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14}",
         "scale", "dyn ep/core", "SP accuracy", "SP lat gain"
     );
-    let engine = SweepEngine::new(jobs_arg());
+    let jobs = jobs_arg();
+    // Each scale factor is its own matrix, so each gets its own spool
+    // subdirectory under --out.
+    let opts = StreamOpts::from_env_args();
     for factor in [1u32, 2, 4] {
         let specs: Vec<_> = BENCHES
             .iter()
@@ -40,7 +43,7 @@ fn main() {
             .benches(specs)
             .protocol("dir", ProtocolKind::Directory)
             .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()));
-        let result = engine.run(&matrix);
+        let result = run_matrix(&matrix, jobs, &opts.subdir(&format!("scale{factor}")));
         let mut accs = Vec::new();
         let mut gains = Vec::new();
         for name in BENCHES {

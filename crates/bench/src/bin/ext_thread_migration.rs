@@ -6,8 +6,8 @@
 //! Runs as one harness matrix (benchmarks × one SP protocol × three
 //! migration variants) fanned across `--jobs` workers.
 
-use spcp_bench::{header, jobs_arg, mean, SEED};
-use spcp_harness::{RunMatrix, SweepEngine};
+use spcp_bench::{header, jobs_arg, mean, run_matrix, StreamOpts, SEED};
+use spcp_harness::RunMatrix;
 use spcp_system::{PredictorKind, ProtocolKind};
 use spcp_workloads::suite;
 
@@ -26,8 +26,7 @@ fn main() {
     for name in BENCHES {
         matrix = matrix.bench(suite::by_name(name).expect("known benchmark"));
     }
-    let result = SweepEngine::new(jobs_arg()).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
+    let result = run_matrix(&matrix, jobs_arg(), &StreamOpts::from_env_args());
 
     println!(
         "{:<14} {:>9} {:>13} {:>13}",

@@ -6,11 +6,12 @@ use spcp_workloads::suite;
 
 /// The paper's Table 1 values for reference: (name, static critical
 /// sections, static sync-epochs, total dynamic sync-epochs per core).
-const PAPER: [(&str, usize, usize, u64); 17] = [
+const PAPER: [(&str, usize, usize, u64); 18] = [
     ("fmm", 30, 20, 2789),
     ("lu", 7, 5, 185),
     ("ocean", 28, 20, 2685),
     ("radiosity", 34, 12, 17637),
+    ("raytrace", 25, 10, 4478),
     ("water-ns", 20, 8, 1224),
     ("cholesky", 28, 27, 1998),
     ("fft", 8, 8, 22),

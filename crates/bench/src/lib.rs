@@ -41,7 +41,9 @@
 
 pub mod timing;
 
-use spcp_harness::{RunMatrix, SweepEngine, SweepResult};
+use std::path::PathBuf;
+
+use spcp_harness::{RunMatrix, SpoolError, StreamConfig, SweepEngine, SweepResult};
 use spcp_system::{CmpSystem, MachineConfig, ProtocolKind, RunConfig, RunStats};
 use spcp_workloads::{suite, BenchmarkSpec};
 
@@ -87,8 +89,108 @@ pub fn jobs_from(args: &[String]) -> usize {
         .unwrap_or(1)
 }
 
+/// Streamed-spool options for sweep-style binaries: `--out <dir>`,
+/// `--resume` and `--flush-every <n>`, mirroring `spcp sweep`.
+///
+/// With no `--out` the sweep runs through the in-memory engine exactly as
+/// before; with one, results are spooled to shard files so an interrupted
+/// figure regeneration can be resumed with `--resume`.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOpts {
+    /// Spool directory (`--out`); `None` selects the in-memory path.
+    pub out: Option<PathBuf>,
+    /// Continue an interrupted sweep (`--resume`).
+    pub resume: bool,
+    /// Records between spool fsyncs (`--flush-every`); 0 = default.
+    pub flush_every: usize,
+}
+
+impl StreamOpts {
+    /// Parses the process arguments (the `jobs_arg` idiom).
+    pub fn from_env_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_args(&args)
+    }
+
+    /// [`Self::from_env_args`] over an explicit argument slice (testable).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut opts = StreamOpts::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--out" => opts.out = it.next().map(PathBuf::from),
+                "--resume" => opts.resume = true,
+                "--flush-every" => {
+                    opts.flush_every = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.flush_every)
+                }
+                _ => {
+                    if let Some(v) = a.strip_prefix("--out=") {
+                        opts.out = Some(PathBuf::from(v));
+                    } else if let Some(v) = a.strip_prefix("--flush-every=") {
+                        opts.flush_every = v.parse().unwrap_or(opts.flush_every);
+                    }
+                }
+            }
+        }
+        opts
+    }
+
+    /// The same options scoped to a subdirectory of `--out` — for binaries
+    /// that run several matrices (each matrix needs its own spool).
+    pub fn subdir(&self, name: &str) -> Self {
+        StreamOpts {
+            out: self.out.as_ref().map(|d| d.join(name)),
+            ..self.clone()
+        }
+    }
+
+    fn config(&self) -> Option<StreamConfig> {
+        self.out.as_ref().map(|dir| {
+            let mut cfg = StreamConfig::new(dir).resume(self.resume);
+            if self.flush_every > 0 {
+                cfg = cfg.flush_every(self.flush_every);
+            }
+            cfg
+        })
+    }
+}
+
+/// Runs one matrix through the engine, streamed when `opts` carries an
+/// `--out` directory, and prints the harness status line to stderr.
+///
+/// Recording matrices cannot stream (their per-epoch payloads are not
+/// spooled); they fall back to the in-memory engine with a warning. Spool
+/// failures abort the binary with a nonzero exit.
+pub fn run_matrix(matrix: &RunMatrix, jobs: usize, opts: &StreamOpts) -> SweepResult {
+    if let Some(cfg) = opts.config() {
+        match SweepEngine::new(jobs).run_streamed(matrix, &cfg) {
+            Ok(streamed) => {
+                eprintln!("[harness] {}", streamed.status_line());
+                return streamed.into_sweep_result().unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            }
+            Err(SpoolError::Unsupported(why)) => {
+                eprintln!("[harness] --out ignored: {why}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let result = SweepEngine::new(jobs).run(matrix);
+    eprintln!("[harness] {}", result.timing_line());
+    result
+}
+
 /// Sweeps the whole suite under the given labelled protocols, fanning the
-/// runs across `jobs` workers via `spcp-harness`.
+/// runs across `jobs` workers via `spcp-harness`. Honors the process-level
+/// `--out/--resume/--flush-every` stream options.
 pub fn sweep_suite(protocols: &[(&str, ProtocolKind)], record: bool, jobs: usize) -> SweepResult {
     let mut matrix = RunMatrix::new().benches(suite::all());
     for (label, kind) in protocols {
@@ -97,7 +199,7 @@ pub fn sweep_suite(protocols: &[(&str, ProtocolKind)], record: bool, jobs: usize
     if record {
         matrix = matrix.recording();
     }
-    SweepEngine::new(jobs).run(&matrix)
+    run_matrix(&matrix, jobs, &StreamOpts::from_env_args())
 }
 
 /// Runs the whole suite under one protocol (parallel across `jobs_arg()`
@@ -108,10 +210,10 @@ pub fn run_suite(protocol: ProtocolKind, record: bool) -> Vec<RunStats> {
 }
 
 /// The directory/broadcast/SP comparison sweep behind Figures 8–11, run as
-/// one matrix so all runs share a single worker pool. Prints the harness's
-/// timing line to stderr.
+/// one matrix so all runs share a single worker pool. The harness status
+/// line goes to stderr; `--out/--resume` stream the results.
 pub fn sweep_dir_bc_sp(record: bool) -> SweepResult {
-    let result = sweep_suite(
+    sweep_suite(
         &[
             ("dir", ProtocolKind::Directory),
             ("bc", ProtocolKind::Broadcast),
@@ -122,9 +224,7 @@ pub fn sweep_dir_bc_sp(record: bool) -> SweepResult {
         ],
         record,
         jobs_arg(),
-    );
-    eprintln!("[harness] {}", result.timing_line());
-    result
+    )
 }
 
 /// Arithmetic mean of an iterator of f64.
@@ -195,5 +295,73 @@ mod tests {
         let swept = sweep.get("x264", "dir", SEED).expect("present");
         assert_eq!(serial.exec_cycles, swept.stats.exec_cycles);
         assert_eq!(serial.noc.byte_hops, swept.stats.noc.byte_hops);
+    }
+
+    #[test]
+    fn stream_opts_parse_and_subdir() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = StreamOpts::from_args(&argv(&["prog", "--out", "/tmp/spool", "--resume"]));
+        assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/tmp/spool")));
+        assert!(o.resume);
+        assert_eq!(o.flush_every, 0);
+        let o = StreamOpts::from_args(&argv(&["prog", "--out=/x", "--flush-every=9"]));
+        assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/x")));
+        assert_eq!(o.flush_every, 9);
+        let sub = o.subdir("scale2");
+        assert_eq!(sub.out.as_deref(), Some(std::path::Path::new("/x/scale2")));
+        let none = StreamOpts::from_args(&argv(&["prog", "--jobs", "2"]));
+        assert!(none.out.is_none());
+        assert!(none.subdir("s").out.is_none());
+    }
+
+    #[test]
+    fn run_matrix_streamed_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("spcp-bench-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let matrix = RunMatrix::new()
+            .bench(suite::x264())
+            .protocol("dir", ProtocolKind::Directory)
+            .protocol(
+                "sp",
+                ProtocolKind::Predicted(spcp_system::PredictorKind::sp_default()),
+            );
+        let mem = run_matrix(&matrix, 2, &StreamOpts::default());
+        let opts = StreamOpts {
+            out: Some(dir.clone()),
+            resume: false,
+            flush_every: 1,
+        };
+        let streamed = run_matrix(&matrix, 2, &opts);
+        assert_eq!(mem.summary(), streamed.summary());
+        // Resume over the finished spool re-runs nothing and agrees.
+        let resumed = run_matrix(
+            &matrix,
+            2,
+            &StreamOpts {
+                resume: true,
+                ..opts
+            },
+        );
+        assert_eq!(mem.summary(), resumed.summary());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_matrix_recording_falls_back_to_memory() {
+        let dir = std::env::temp_dir().join(format!("spcp-bench-recfall-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let matrix = RunMatrix::new()
+            .bench(suite::x264())
+            .protocol("dir", ProtocolKind::Directory)
+            .recording();
+        let opts = StreamOpts {
+            out: Some(dir.clone()),
+            resume: false,
+            flush_every: 0,
+        };
+        let result = run_matrix(&matrix, 1, &opts);
+        assert_eq!(result.runs.len(), 1);
+        assert!(!result.runs[0].stats.epoch_records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,9 +11,9 @@ mod args;
 mod report;
 
 use args::Args;
-use spcp_harness::{golden, RunMatrix, SweepEngine};
+use spcp_harness::{golden, RunMatrix, StreamConfig, SweepEngine, SweepSummary};
 use spcp_system::{
-    CmpSystem, CoherenceVariant, MachineConfig, PredictorKind, ProtocolKind, RunConfig,
+    CmpSystem, CoherenceVariant, MachineConfig, PredictorKind, ProtocolKind, RunConfig, RunStats,
 };
 use spcp_verify::{analyze_races, ModelChecker, ModelConfig};
 use spcp_workloads::suite;
@@ -27,12 +27,18 @@ USAGE:
       (--spec-file <path> runs a text workload spec instead of --bench)
       protocols: directory broadcast sp addr inst uni multicast
   spcp compare --bench <name> [--seed <n>]      all protocols side by side
-      [--jobs <n>]
+      [--jobs <n>] [--out <dir>] [--resume] [--flush-every <n>]
   spcp sweep [--benches a,b,..] [--protocols p,q,..]
       [--seeds 7,11,..] [--jobs <n>]            parallel run matrix
+      [--out <dir>]                             stream results to spool shards
+      [--resume]                                continue an interrupted sweep,
+                                                re-running only missing cells
+      [--flush-every <n>]                       records between spool fsyncs
+                                                (default 32)
       [--golden <file>] [--update-golden]       verify/write a golden snapshot
       [--timing]                                per-run wall-clock + ops/s
                                                 report on stderr
+                                                (in-memory path only)
   spcp characterize --bench <name> [--core <n>] sync-epoch hot sets
   spcp trace --bench <name> --out <file>        collect a miss/sync trace
   spcp analyze --trace <file> [--cores <n>]     characterize a trace file
@@ -116,6 +122,29 @@ fn jobs_arg(args: &Args) -> Result<usize, String> {
     Ok(args.opt_parse("jobs", default)?.max(1))
 }
 
+/// `--out/--resume/--flush-every`: the streamed-spool options shared by
+/// `sweep` and `compare`. `None` selects the in-memory path.
+fn stream_config_from(args: &Args) -> Result<Option<StreamConfig>, String> {
+    let Some(dir) = args.opt("out") else {
+        if args.flag("resume") {
+            return Err("--resume requires --out <dir>".into());
+        }
+        if args.opt("flush-every").is_some() {
+            return Err("--flush-every requires --out <dir>".into());
+        }
+        return Ok(None);
+    };
+    let flush: usize = args.opt_parse("flush-every", spcp_harness::stream::DEFAULT_FLUSH_EVERY)?;
+    if flush == 0 {
+        return Err("--flush-every must be at least 1".into());
+    }
+    Ok(Some(
+        StreamConfig::new(dir)
+            .flush_every(flush)
+            .resume(args.flag("resume")),
+    ))
+}
+
 const ALL_PROTOCOLS: [&str; 7] = [
     "directory",
     "broadcast",
@@ -134,23 +163,40 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     for name in ALL_PROTOCOLS {
         matrix = matrix.protocol(name, protocol_from(name)?);
     }
-    let result = SweepEngine::new(jobs_arg(args)?).run(&matrix);
-    eprintln!("[harness] {}", result.timing_line());
-    println!(
-        "{:<12} {:>10} {:>9} {:>12} {:>9} {:>11}",
-        "protocol", "exec", "misslat", "byte-hops", "accuracy", "storage(KB)"
-    );
-    for r in &result.runs {
-        let s = &r.stats;
+    let engine = SweepEngine::new(jobs_arg(args)?);
+    let print_header = || {
+        println!(
+            "{:<12} {:>10} {:>9} {:>12} {:>9} {:>11}",
+            "protocol", "exec", "misslat", "byte-hops", "accuracy", "storage(KB)"
+        )
+    };
+    let print_row = |label: &str, s: &RunStats| {
         println!(
             "{:<12} {:>10} {:>9.1} {:>12} {:>8.1}% {:>11.2}",
-            r.spec.protocol_label,
+            label,
             s.exec_cycles,
             s.miss_latency.mean(),
             s.noc.byte_hops,
             s.accuracy() * 100.0,
             s.predictor_storage_bits as f64 / 8.0 / 1024.0,
-        );
+        )
+    };
+    if let Some(cfg) = stream_config_from(args)? {
+        let streamed = engine
+            .run_streamed(&matrix, &cfg)
+            .map_err(|e| e.to_string())?;
+        eprintln!("[harness] {}", streamed.status_line());
+        print_header();
+        streamed
+            .for_each_run(|spec, rec| print_row(&spec.protocol_label, &rec.stats))
+            .map_err(|e| e.to_string())?;
+    } else {
+        let result = engine.run(&matrix);
+        eprintln!("[harness] {}", result.timing_line());
+        print_header();
+        for r in &result.runs {
+            print_row(&r.spec.protocol_label, &r.stats);
+        }
     }
     Ok(())
 }
@@ -193,6 +239,34 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if matrix.is_empty() {
         return Err("sweep matrix is empty".into());
     }
+
+    if let Some(cfg) = stream_config_from(args)? {
+        if args.flag("timing") {
+            return Err("--timing applies to the in-memory path; drop --out".into());
+        }
+        let streamed = SweepEngine::new(jobs_arg(args)?)
+            .run_streamed(&matrix, &cfg)
+            .map_err(|e| e.to_string())?;
+        eprintln!("[harness] {}", streamed.status_line());
+        if let Some(path) = args.opt("golden") {
+            let rendered = streamed.render_golden().map_err(|e| e.to_string())?;
+            return golden_out(args, path, &rendered);
+        }
+        // Bounded-memory reporting: rows and the summary come from one
+        // replay of the spool, never a buffered run list. stdout is
+        // byte-identical to the in-memory path below.
+        sweep_rows_header();
+        let mut summary = SweepSummary::new();
+        streamed
+            .for_each_run(|spec, rec| {
+                sweep_row(&spec.id(), &rec.stats);
+                summary.observe(&rec.stats);
+            })
+            .map_err(|e| e.to_string())?;
+        sweep_footer(&summary);
+        return Ok(());
+    }
+
     let result = SweepEngine::new(jobs_arg(args)?).run(&matrix);
     // Timing goes to stderr only: stdout (and golden files) must stay
     // bit-identical across hosts and worker counts.
@@ -203,42 +277,36 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = args.opt("golden") {
-        let rendered = golden::render(&result);
-        let path = std::path::Path::new(path);
-        if args.flag("update-golden") {
-            if let Some(parent) = path.parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-                }
-            }
-            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
-            println!("wrote golden snapshot {}", path.display());
-        } else {
-            match golden::check_or_update(path, &rendered) {
-                Ok(true) => println!("wrote golden snapshot {}", path.display()),
-                Ok(false) => println!("golden snapshot {} matches", path.display()),
-                Err(e) => return Err(e.to_string()),
-            }
-        }
-        return Ok(());
+        return golden_out(args, path, &golden::render(&result));
     }
 
+    sweep_rows_header();
+    for r in &result.runs {
+        sweep_row(&r.spec.id(), &r.stats);
+    }
+    sweep_footer(&result.summary());
+    Ok(())
+}
+
+fn sweep_rows_header() {
     println!(
         "{:<30} {:>10} {:>9} {:>12} {:>9}",
         "run", "exec", "misslat", "byte-hops", "accuracy"
     );
-    for r in &result.runs {
-        let s = &r.stats;
-        println!(
-            "{:<30} {:>10} {:>9.1} {:>12} {:>8.1}%",
-            r.spec.id(),
-            s.exec_cycles,
-            s.miss_latency.mean(),
-            s.noc.byte_hops,
-            s.accuracy() * 100.0,
-        );
-    }
-    let summary = result.summary();
+}
+
+fn sweep_row(id: &str, s: &RunStats) {
+    println!(
+        "{:<30} {:>10} {:>9.1} {:>12} {:>8.1}%",
+        id,
+        s.exec_cycles,
+        s.miss_latency.mean(),
+        s.noc.byte_hops,
+        s.accuracy() * 100.0,
+    );
+}
+
+fn sweep_footer(summary: &SweepSummary) {
     println!(
         "---\n{} runs | {} ops | mean miss latency {:.1} | accuracy {:.1}%",
         summary.runs,
@@ -246,6 +314,27 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         summary.mean_miss_latency(),
         summary.accuracy() * 100.0,
     );
+}
+
+/// Writes or verifies a golden snapshot at `path` (shared by the streamed
+/// and in-memory sweep paths).
+fn golden_out(args: &Args, path: &str, rendered: &str) -> Result<(), String> {
+    let path = std::path::Path::new(path);
+    if args.flag("update-golden") {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::write(path, rendered).map_err(|e| e.to_string())?;
+        println!("wrote golden snapshot {}", path.display());
+        return Ok(());
+    }
+    match golden::check_or_update(path, rendered) {
+        Ok(true) => println!("wrote golden snapshot {}", path.display()),
+        Ok(false) => println!("golden snapshot {} matches", path.display()),
+        Err(e) => return Err(e.to_string()),
+    }
     Ok(())
 }
 
@@ -687,6 +776,91 @@ end
             assert!(dispatch(&drifted).unwrap_err().contains("mismatch"));
         }
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sweep_streamed_then_resume_and_golden() {
+        let dir = std::env::temp_dir().join(format!("spcp-cli-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let gold = dir.join("stream.golden");
+        let d = dir.display();
+        let g = gold.display();
+        // Streamed sweep writing a golden snapshot.
+        let write = Args::parse(
+            format!(
+                "sweep --benches fft --protocols dir,sp --jobs 2 \
+                 --out {d} --flush-every 1 --golden {g} --update-golden"
+            )
+            .split_whitespace()
+            .map(String::from),
+        );
+        assert!(dispatch(&write).is_ok());
+        // Same spool without --resume is refused; with --resume it is a
+        // no-op and still verifies the golden byte for byte.
+        let dirty = Args::parse(
+            format!("sweep --benches fft --protocols dir,sp --jobs 2 --out {d} --golden {g}")
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&dirty).unwrap_err().contains("--resume"));
+        if !spcp_harness::golden::update_requested() {
+            let resume = Args::parse(
+                format!(
+                    "sweep --benches fft --protocols dir,sp --jobs 2 \
+                     --out {d} --resume --golden {g}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            );
+            assert!(dispatch(&resume).is_ok());
+            // The streamed golden matches the in-memory render.
+            let verify = Args::parse(
+                format!("sweep --benches fft --protocols dir,sp --jobs 1 --golden {g}")
+                    .split_whitespace()
+                    .map(String::from),
+            );
+            assert!(dispatch(&verify).is_ok());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_streamed_smoke() {
+        let dir = std::env::temp_dir().join(format!("spcp-cli-cmpstream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = Args::parse(
+            format!("compare --bench x264 --jobs 2 --out {}", dir.display())
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_flags_require_out() {
+        let a = Args::parse(
+            "sweep --benches fft --protocols dir --resume"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).unwrap_err().contains("--out"));
+        let a = Args::parse(
+            "sweep --benches fft --protocols dir --flush-every 4"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn streamed_timing_is_rejected() {
+        let a = Args::parse(
+            "sweep --benches fft --protocols dir --out /tmp/spcp-unused --timing"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(dispatch(&a).unwrap_err().contains("in-memory"));
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Self-delimiting, checksummed line frames for result spool files.
+//!
+//! A spool file is a sequence of *frames*, one per line:
+//!
+//! ```text
+//! SPCP1 <payload-len> <fnv1a64-hex> <payload>\n
+//! ```
+//!
+//! * `payload-len` — decimal byte length of the payload;
+//! * `fnv1a64-hex` — 16 lowercase hex digits, FNV-1a 64 over the payload
+//!   bytes;
+//! * `payload` — arbitrary UTF-8 without `\n` (one JSON object in spool
+//!   files).
+//!
+//! The frame is what makes append-only spool files crash-safe: a record is
+//! complete **iff** its line is newline-terminated, its magic/length parse,
+//! the payload length matches, and the checksum verifies. A process killed
+//! mid-`write` leaves at most one truncated tail line, which decoding
+//! discards; a torn or bit-flipped line anywhere fails its checksum and is
+//! rejected rather than misparsed. Concatenations of valid frame streams
+//! decode to the concatenation of their payloads.
+
+use std::fmt;
+
+/// Magic token opening every frame line; bump when the frame layout
+/// changes so old spools are rejected loudly.
+pub const FRAME_MAGIC: &str = "SPCP1";
+
+/// FNV-1a 64-bit checksum over a byte string.
+///
+/// Not cryptographic — it guards against truncation, torn writes and
+/// random corruption, which is all a local spool file needs.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one payload as a complete frame line (including the trailing
+/// newline).
+///
+/// # Panics
+///
+/// Panics if the payload contains a newline — payloads are single-line by
+/// contract, which is what makes frames self-delimiting.
+pub fn encode(payload: &str) -> String {
+    assert!(
+        !payload.contains('\n'),
+        "frame payloads must not contain newlines"
+    );
+    format!(
+        "{FRAME_MAGIC} {} {:016x} {payload}\n",
+        payload.len(),
+        checksum(payload.as_bytes())
+    )
+}
+
+/// Why a frame line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// The line is missing the length/checksum/payload fields.
+    Malformed,
+    /// The declared payload length does not match the actual payload.
+    LengthMismatch {
+        /// Length declared in the frame header.
+        declared: usize,
+        /// Actual payload byte length on the line.
+        actual: usize,
+    },
+    /// The payload checksum does not verify.
+    ChecksumMismatch,
+    /// The payload is not valid UTF-8.
+    NotUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::Malformed => write!(f, "malformed frame line"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "frame length mismatch: declared {declared}, got {actual}"
+                )
+            }
+            FrameError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            FrameError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decodes one frame line (without its trailing newline) into its payload.
+pub fn decode_line(line: &[u8]) -> Result<&str, FrameError> {
+    let magic = FRAME_MAGIC.as_bytes();
+    if line.len() < magic.len() + 1 || &line[..magic.len()] != magic || line[magic.len()] != b' ' {
+        return Err(FrameError::BadMagic);
+    }
+    let rest = &line[magic.len() + 1..];
+    // <len> SP <crc16hex> SP <payload>
+    let len_end = rest
+        .iter()
+        .position(|&b| b == b' ')
+        .ok_or(FrameError::Malformed)?;
+    let len: usize = std::str::from_utf8(&rest[..len_end])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(FrameError::Malformed)?;
+    let rest = &rest[len_end + 1..];
+    if rest.len() < 17 || rest[16] != b' ' {
+        return Err(FrameError::Malformed);
+    }
+    let crc = u64::from_str_radix(
+        std::str::from_utf8(&rest[..16]).map_err(|_| FrameError::Malformed)?,
+        16,
+    )
+    .map_err(|_| FrameError::Malformed)?;
+    let payload = &rest[17..];
+    if payload.len() != len {
+        return Err(FrameError::LengthMismatch {
+            declared: len,
+            actual: payload.len(),
+        });
+    }
+    if checksum(payload) != crc {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    std::str::from_utf8(payload).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Outcome of decoding a whole byte stream of frames.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StreamDecode {
+    /// Payloads of every valid frame, in file order.
+    pub payloads: Vec<String>,
+    /// Newline-terminated lines that failed to decode (corruption).
+    pub rejected: usize,
+    /// Whether the stream ended in an unterminated (torn) tail line,
+    /// which is discarded — the signature of a crash mid-append.
+    pub truncated_tail: bool,
+}
+
+/// Decodes a byte stream into frames, rejecting damaged lines and
+/// discarding an unterminated tail.
+///
+/// This is the whole-buffer twin of the incremental reader in
+/// [`crate::spool`]; property tests drive it with random truncations,
+/// bit-flips and concatenations.
+pub fn decode_stream(bytes: &[u8]) -> StreamDecode {
+    let mut out = StreamDecode::default();
+    let mut rest = bytes;
+    while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        match decode_line(line) {
+            Ok(payload) => out.payloads.push(payload.to_string()),
+            Err(_) => out.rejected += 1,
+        }
+    }
+    out.truncated_tail = !rest.is_empty();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = encode(r#"{"kind":"run","index":3}"#);
+        assert!(frame.ends_with('\n'));
+        let payload = decode_line(frame.trim_end_matches('\n').as_bytes()).unwrap();
+        assert_eq!(payload, r#"{"kind":"run","index":3}"#);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = encode("");
+        assert_eq!(decode_line(frame.trim_end_matches('\n').as_bytes()), Ok(""));
+    }
+
+    #[test]
+    #[should_panic(expected = "newlines")]
+    fn encode_rejects_embedded_newline() {
+        encode("a\nb");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_line(b"NOPE1 1 0 x"), Err(FrameError::BadMagic));
+        assert_eq!(decode_line(b""), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut frame = encode("hello world").into_bytes();
+        frame.pop(); // drop newline
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert_eq!(decode_line(&frame), Err(FrameError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn truncated_payload_fails_length() {
+        let frame = encode("hello world");
+        let cut = &frame.as_bytes()[..frame.len() - 4];
+        assert!(matches!(
+            decode_line(cut),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_discards_torn_tail() {
+        let mut bytes = encode("one").into_bytes();
+        bytes.extend_from_slice(&encode("two").into_bytes());
+        let full = decode_stream(&bytes);
+        assert_eq!(full.payloads, ["one", "two"]);
+        assert!(!full.truncated_tail);
+        assert_eq!(full.rejected, 0);
+
+        // Cut mid-way through the second frame: only "one" survives.
+        let cut = decode_stream(&bytes[..bytes.len() - 3]);
+        assert_eq!(cut.payloads, ["one"]);
+        assert!(cut.truncated_tail);
+        assert_eq!(cut.rejected, 0);
+    }
+
+    #[test]
+    fn stream_counts_corrupt_middle_lines() {
+        let mut bytes = encode("one").into_bytes();
+        bytes.extend_from_slice(b"garbage line\n");
+        bytes.extend_from_slice(&encode("two").into_bytes());
+        let got = decode_stream(&bytes);
+        assert_eq!(got.payloads, ["one", "two"]);
+        assert_eq!(got.rejected, 1);
+        assert!(!got.truncated_tail);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a 64 reference value for the empty string.
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+    }
+}

@@ -12,7 +12,12 @@
 //! - [`SweepSummary`] — exact, order-independent aggregation of
 //!   [`spcp_system::RunStats`],
 //! - [`golden`] — golden-snapshot emit/verify of run stats to a line-based
-//!   text format (see `docs/HARNESS.md` and `docs/FORMATS.md`).
+//!   text format (see `docs/HARNESS.md` and `docs/FORMATS.md`),
+//! - [`stream`] / [`spool`] / [`frame`] — streamed sweeps: workers append
+//!   completed runs as checksummed JSONL frames to per-shard spool files,
+//!   a bounded-memory merge replays them in canonical order, and
+//!   crash-safe resume ([`StreamConfig::resume`]) re-enqueues only runs
+//!   without a complete record.
 //!
 //! # Determinism guarantees
 //!
@@ -41,10 +46,17 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod frame;
 pub mod golden;
 pub mod matrix;
+pub mod record;
+pub mod spool;
+pub mod stream;
 pub mod summary;
 
 pub use engine::{RunResult, SweepEngine, SweepResult};
 pub use matrix::{MachineEntry, ProtocolEntry, RunMatrix, RunSpec, VariantEntry};
+pub use record::RunRecord;
+pub use spool::SpoolError;
+pub use stream::{StreamConfig, StreamedSweep};
 pub use summary::SweepSummary;

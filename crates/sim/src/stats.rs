@@ -115,6 +115,33 @@ impl MeanAccumulator {
         self.max = self.max.max(sample);
     }
 
+    /// Rebuilds an accumulator from its raw moments, the inverse of
+    /// reading `sum()`/`count()`/`min()`/`max()` — used by the sweep
+    /// harness to round-trip statistics through spool files bit-exactly.
+    ///
+    /// `min`/`max` are the *raw* stored extremes: pass `u64::MAX`/`0`
+    /// (their empty-state sentinels) when `count` is zero.
+    pub const fn from_parts(sum: u128, count: u64, min: u64, max: u64) -> Self {
+        MeanAccumulator {
+            sum,
+            count,
+            min,
+            max,
+        }
+    }
+
+    /// The raw stored minimum (`u64::MAX` when empty); pairs with
+    /// [`Self::from_parts`] for exact serialization.
+    pub fn raw_min(&self) -> u64 {
+        self.min
+    }
+
+    /// The raw stored maximum (`0` when empty); pairs with
+    /// [`Self::from_parts`] for exact serialization.
+    pub fn raw_max(&self) -> u64 {
+        self.max
+    }
+
     /// Arithmetic mean, or 0.0 when no samples were recorded.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -206,6 +233,31 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Rebuilds a histogram from its bounds and per-bucket counts, the
+    /// inverse of reading `bounds()`/`bucket_counts()` — used by the sweep
+    /// harness to round-trip statistics through spool files bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing or `counts` does not
+    /// have exactly one more entry than `bounds` (the overflow bucket).
+    pub fn from_parts(bounds: &[u64], counts: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "histogram needs one count per bucket plus overflow"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            total: counts.iter().sum(),
+        }
     }
 
     /// Per-bucket counts (the last entry is the overflow bucket).
@@ -394,5 +446,43 @@ mod tests {
     #[test]
     fn percent_formatting() {
         assert_eq!(percent(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn mean_accumulator_round_trips_through_parts() {
+        let mut acc = MeanAccumulator::new();
+        for s in [3, 99, 41] {
+            acc.record(s);
+        }
+        let rebuilt =
+            MeanAccumulator::from_parts(acc.sum(), acc.count(), acc.raw_min(), acc.raw_max());
+        assert_eq!(rebuilt, acc);
+
+        let empty = MeanAccumulator::new();
+        let rebuilt = MeanAccumulator::from_parts(
+            empty.sum(),
+            empty.count(),
+            empty.raw_min(),
+            empty.raw_max(),
+        );
+        assert_eq!(rebuilt, empty);
+        assert_eq!(rebuilt.min(), None);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_parts() {
+        let mut h = Histogram::with_bounds(&[2, 4]);
+        for s in [0, 3, 3, 100] {
+            h.record(s);
+        }
+        let rebuilt = Histogram::from_parts(h.bounds(), h.bucket_counts());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per bucket")]
+    fn histogram_from_parts_rejects_bad_count_len() {
+        Histogram::from_parts(&[2, 4], &[1, 2]);
     }
 }

@@ -1,4 +1,4 @@
-//! The 17 benchmark models of the paper's evaluation (SPLASH-2 + PARSEC).
+//! The 18 benchmark models of the paper's evaluation (SPLASH-2 + PARSEC).
 //!
 //! Each model is shaped by the paper's published statistics:
 //!
@@ -178,6 +178,50 @@ pub fn radiosity() -> BenchmarkSpec {
         )],
         seed_salt: 0x12ad,
         paper_comm_ratio: 0.70,
+    }
+}
+
+/// raytrace — SPLASH-2: a read-mostly scene graph broadcast to every core
+/// at startup, then lock-based task stealing with random victim choice.
+pub fn raytrace() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "raytrace",
+        phases: vec![
+            // Scene-graph construction: one producer side widely read by
+            // all renderers (BVH nodes touched by every ray).
+            Phase::new(
+                epochs(1, 2, |id, i| {
+                    EpochSpec::new(
+                        id,
+                        WidelyShared {
+                            producers: 2 + i as usize,
+                        },
+                    )
+                    .traffic(56, 40)
+                    .private(24)
+                }),
+                1,
+            ),
+            // Rendering: per-tile task queues with random stealing; the
+            // stolen-task handoff is pure critical-section communication.
+            Phase::new(
+                epochs(3, 8, |id, i| {
+                    EpochSpec::new(id, Random)
+                        .traffic(32, 32)
+                        .private(24)
+                        .noise(0.15)
+                        .critical_sections(CsSpec {
+                            lock_base: (i * 4) % 25,
+                            num_locks: 4.min(25 - (i * 4) % 25),
+                            sections: 2,
+                            accesses: 6,
+                        })
+                }),
+                12,
+            ),
+        ],
+        seed_salt: 0x7ace,
+        paper_comm_ratio: 0.55,
     }
 }
 
@@ -588,6 +632,7 @@ pub fn all() -> Vec<BenchmarkSpec> {
         lu(),
         ocean(),
         radiosity(),
+        raytrace(),
         water_ns(),
         cholesky(),
         fft(),
@@ -633,13 +678,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_17_benchmarks_with_unique_names() {
+    fn suite_has_18_benchmarks_with_unique_names() {
         let suite = all();
-        assert_eq!(suite.len(), 17);
+        assert_eq!(suite.len(), 18);
         let mut names: Vec<_> = suite.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
     }
 
     #[test]
@@ -650,6 +695,7 @@ mod tests {
             ("lu", 5),
             ("ocean", 20),
             ("radiosity", 12),
+            ("raytrace", 10),
             ("water-ns", 8),
             ("cholesky", 27),
             ("fft", 8),
@@ -677,6 +723,7 @@ mod tests {
             ("lu", 7),
             ("ocean", 28),
             ("radiosity", 34),
+            ("raytrace", 25),
             ("water-ns", 20),
             ("cholesky", 28),
             ("fft", 8),

@@ -40,6 +40,30 @@ cargo test -q --offline --test golden_regression
 step "invariant layer: workspace tests with runtime audits compiled in"
 cargo test -q --offline --features invariants
 
+step "streamed sweep smoke: spool to disk, golden-verify, idle resume"
+SPOOL="$(mktemp -d)"
+trap 'rm -rf "$SPOOL"' EXIT
+cargo run --release --offline -p spcp-cli -- sweep \
+    --benches fft,lu --protocols dir,sp --seeds 7 --jobs 2 \
+    --out "$SPOOL/sweep" --update-golden --golden "$SPOOL/sweep.golden"
+# Resuming a complete spool executes nothing and reproduces the snapshot.
+cargo run --release --offline -p spcp-cli -- sweep \
+    --benches fft,lu --protocols dir,sp --seeds 7 --jobs 2 \
+    --out "$SPOOL/sweep" --resume --golden "$SPOOL/sweep.golden"
+
+step "kill-resume smoke: torn shard tail, --resume refills the matrix"
+cargo run --release --offline -p spcp-cli -- sweep \
+    --benches fft,lu --protocols dir,sp --seeds 7 --jobs 2 \
+    --out "$SPOOL/kill" --update-golden --golden "$SPOOL/kill.golden"
+# Simulate a mid-write kill: cut the last shard inside its final record.
+SHARD="$(ls "$SPOOL"/kill/shard-*.jsonl | tail -1)"
+SIZE="$(wc -c < "$SHARD")"
+truncate -s "$((SIZE - 7))" "$SHARD"
+cargo run --release --offline -p spcp-cli -- sweep \
+    --benches fft,lu --protocols dir,sp --seeds 7 --jobs 2 \
+    --out "$SPOOL/kill" --resume --golden "$SPOOL/kill.golden"
+cmp "$SPOOL/sweep.golden" "$SPOOL/kill.golden"
+
 step "model checker smoke: exhaustive 2-core x 1-line enumeration"
 cargo run --release --offline -p spcp-cli -- check --model --cores 2 --lines 1
 

@@ -8,7 +8,7 @@
 //! * [`sync`] — synchronization points and sync-epoch tracking;
 //! * [`predict`] — **SP-prediction**, the paper's contribution;
 //! * [`baselines`] — ADDR / INST / UNI comparison predictors;
-//! * [`workloads`] — the 17 synthetic benchmark models;
+//! * [`workloads`] — the 18 synthetic benchmark models;
 //! * [`trace`] — miss/sync-point traces + trace-driven characterization;
 //! * [`system`] — the 16-core CMP timing simulator tying it all together;
 //! * [`harness`] — parallel sweep engine + golden-snapshot regression

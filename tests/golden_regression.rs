@@ -1,6 +1,7 @@
-//! Golden-snapshot regression tests: 8 benchmarks × 4 protocols at the
+//! Golden-snapshot regression tests: 10 benchmarks × 4 protocols at the
 //! fixed figure seed, snapshotted under `tests/golden/`. Any change to
-//! simulator behavior shows up as a precise line diff.
+//! simulator behavior shows up as a precise line diff. The streamed
+//! (spooled-to-disk) sweep path must reproduce every golden byte for byte.
 //!
 //! Regenerate after an intentional behavior change with:
 //!
@@ -14,11 +15,11 @@
 
 use std::path::PathBuf;
 
-use spcp::harness::{golden, RunMatrix, SweepEngine};
+use spcp::harness::{golden, RunMatrix, StreamConfig, SweepEngine};
 use spcp::system::{PredictorKind, ProtocolKind};
 use spcp::workloads::suite;
 
-const GOLDEN_BENCHES: [&str; 8] = [
+const GOLDEN_BENCHES: [&str; 10] = [
     "fft",
     "lu",
     "x264",
@@ -27,6 +28,8 @@ const GOLDEN_BENCHES: [&str; 8] = [
     "streamcluster",
     "bodytrack",
     "fluidanimate",
+    "raytrace",
+    "vips",
 ];
 
 fn golden_dir() -> PathBuf {
@@ -95,6 +98,41 @@ fn golden_bodytrack() {
 #[test]
 fn golden_fluidanimate() {
     check_bench(GOLDEN_BENCHES[7]);
+}
+
+#[test]
+fn golden_raytrace() {
+    check_bench(GOLDEN_BENCHES[8]);
+}
+
+#[test]
+fn golden_vips() {
+    check_bench(GOLDEN_BENCHES[9]);
+}
+
+/// The streamed (write-ahead spool) path reproduces every golden file byte
+/// for byte: the same matrix run through `run_streamed` renders from its
+/// on-disk records to exactly the snapshot the in-memory path produced.
+#[test]
+fn streamed_path_reproduces_all_goldens() {
+    let dir = std::env::temp_dir().join(format!("spcp-golden-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for bench in GOLDEN_BENCHES {
+        let path = golden_dir().join(format!("{bench}.golden"));
+        let stored = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            // Missing files are reported by the per-bench tests (or being
+            // created right now under UPDATE_GOLDEN=1); don't double-fail.
+            Err(_) => continue,
+        };
+        let spool = dir.join(bench);
+        let streamed = SweepEngine::new(2)
+            .run_streamed(&golden_matrix(bench), &StreamConfig::new(&spool))
+            .expect("streamed sweep");
+        let rendered = streamed.render_golden().expect("replay spool");
+        assert_eq!(rendered, stored, "{bench}: streamed render diverges");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The golden files themselves stay well-formed: header line, one `[run …]`

@@ -1,9 +1,15 @@
 //! Parallel-determinism guarantees of the sweep engine: a ≥24-run matrix
 //! produces bit-identical per-run stats and merged summaries at `--jobs 1`,
 //! `--jobs 4` and `--jobs 8`, and summary merging is independent of worker
-//! scheduling order.
+//! scheduling order. The same guarantees are pinned for the streamed
+//! (spooled-to-disk) path: streaming at any job count reproduces the
+//! in-memory sweep bit for bit, and the shard merge order never changes
+//! the report.
 
-use spcp::harness::{RunMatrix, SweepEngine, SweepResult, SweepSummary};
+use std::path::PathBuf;
+
+use spcp::harness::spool::{self, SpoolMerge};
+use spcp::harness::{golden, RunMatrix, StreamConfig, SweepEngine, SweepResult, SweepSummary};
 use spcp::sim::DetRng;
 use spcp::system::{PredictorKind, ProtocolKind};
 use spcp::workloads::suite;
@@ -86,6 +92,86 @@ fn jobs_1_4_8_are_bit_identical() {
     }
     assert!(eight.speedup() > 0.0);
     assert!(eight.throughput_ops_per_sec() > 0.0);
+}
+
+/// A scratch spool directory, wiped before (and after) use so reruns and
+/// crashed prior runs never leak shards into the test.
+struct Spool(PathBuf);
+
+impl Spool {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spcp-det-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Spool(dir)
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn streamed_jobs_1_4_8_bit_identical_to_in_memory() {
+    let matrix = matrix_24();
+    let reference = SweepEngine::new(1).run(&matrix);
+    let reference_render = golden::render(&reference);
+
+    for jobs in [1usize, 4, 8] {
+        let spool = Spool::new(&format!("jobs{jobs}"));
+        let streamed = SweepEngine::new(jobs)
+            .run_streamed(&matrix, &StreamConfig::new(&spool.0))
+            .expect("streamed sweep");
+        assert_eq!(streamed.executed, 24, "jobs={jobs}");
+        assert_eq!(streamed.resumed, 0, "jobs={jobs}");
+
+        // The golden rendering — every counter of every run — is byte-for-
+        // byte the in-memory engine's, no matter the worker count.
+        let render = streamed.render_golden().expect("replay spool");
+        assert_eq!(render, reference_render, "jobs={jobs}");
+        assert_eq!(
+            streamed.summary().expect("replay spool"),
+            reference.summary(),
+            "jobs={jobs}"
+        );
+
+        // Rehydrating the spool into a SweepResult matches too (canonical
+        // run order, identical stats).
+        let rehydrated = streamed.into_sweep_result().expect("replay spool");
+        assert_bit_identical(&reference, &rehydrated);
+    }
+}
+
+#[test]
+fn shard_merge_order_never_changes_report() {
+    let matrix = matrix_24();
+    let spool = Spool::new("mergeorder");
+    let streamed = SweepEngine::new(4)
+        .run_streamed(&matrix, &StreamConfig::new(&spool.0))
+        .expect("streamed sweep");
+    let reference = streamed.summary().expect("replay spool");
+    let fingerprint = streamed.fingerprint();
+
+    let shards = spool::shard_files(&spool.0).expect("list shards");
+    assert!(!shards.is_empty());
+
+    let mut rng = DetRng::seeded(0x5eed);
+    for trial in 0..10 {
+        let mut order = shards.clone();
+        rng.shuffle(&mut order);
+        let mut merge = SpoolMerge::open(&order, fingerprint).expect("open shards");
+        let mut summary = SweepSummary::new();
+        let mut last_index = None;
+        while let Some(rec) = merge.next().expect("merge") {
+            // Records always drain in canonical matrix order, regardless
+            // of the order the shard files were listed in.
+            assert!(last_index < Some(rec.index), "trial {trial}");
+            last_index = Some(rec.index);
+            summary.observe(&rec.stats);
+        }
+        assert_eq!(summary, reference, "trial {trial}");
+    }
 }
 
 #[test]

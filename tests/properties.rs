@@ -5,6 +5,7 @@
 //! (`spcp::sim::DetRng`), so the suite runs fully offline and every case is
 //! reproducible from its printed case number.
 
+use spcp::harness::frame;
 use spcp::mem::{BlockAddr, CacheConfig, SetAssocCache, BLOCK_BYTES};
 use spcp::noc::Mesh;
 use spcp::predict::CommCounters;
@@ -472,5 +473,111 @@ fn generation_deterministic_and_balanced() {
             })
             .collect();
         assert!(barriers.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
+    }
+}
+
+// ---------------- Spool frame codec ----------------
+
+/// A random frame payload: printable ASCII (never a newline — the encoder
+/// rejects embedded newlines by contract), length 0..=40.
+fn any_payload(rng: &mut DetRng) -> String {
+    let len = rng.index(41);
+    (0..len)
+        .map(|_| char::from(rng.range(0x20, 0x7f) as u8))
+        .collect()
+}
+
+/// A random valid frame stream plus its payloads.
+fn any_stream(rng: &mut DetRng, max_frames: usize) -> (Vec<u8>, Vec<String>) {
+    let n = rng.index(max_frames + 1);
+    let payloads: Vec<String> = (0..n).map(|_| any_payload(rng)).collect();
+    let stream = payloads
+        .iter()
+        .map(|p| frame::encode(p))
+        .collect::<String>();
+    (stream.into_bytes(), payloads)
+}
+
+#[test]
+fn frame_encode_decode_round_trips() {
+    for case in 0..CASES {
+        let mut rng = case_rng(100, case);
+        let payload = any_payload(&mut rng);
+        let encoded = frame::encode(&payload);
+        assert!(encoded.ends_with('\n'), "case {case}");
+        let line = encoded.trim_end_matches('\n');
+        assert_eq!(
+            frame::decode_line(line.as_bytes()),
+            Ok(payload.as_str()),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn frame_truncation_yields_exact_prefix() {
+    for case in 0..CASES {
+        let mut rng = case_rng(101, case);
+        let (stream, payloads) = any_stream(&mut rng, 8);
+        let cut = rng.index(stream.len() + 1);
+        let decoded = frame::decode_stream(&stream[..cut]);
+        // Complete frames before the cut decode exactly; the torn frame is
+        // reported as a truncated tail, never misparsed or miscounted.
+        assert!(decoded.payloads.len() <= payloads.len(), "case {case}");
+        assert_eq!(
+            decoded.payloads,
+            payloads[..decoded.payloads.len()],
+            "case {case}"
+        );
+        assert_eq!(
+            decoded.rejected, 0,
+            "case {case}: truncation is not corruption"
+        );
+        let consumed: usize = payloads[..decoded.payloads.len()]
+            .iter()
+            .map(|p| frame::encode(p).len())
+            .sum();
+        assert_eq!(decoded.truncated_tail, cut != consumed, "case {case}");
+    }
+}
+
+#[test]
+fn frame_bit_flips_never_misparse() {
+    for case in 0..CASES {
+        let mut rng = case_rng(102, case);
+        let (mut stream, payloads) = any_stream(&mut rng, 6);
+        if stream.is_empty() {
+            continue;
+        }
+        let byte = rng.index(stream.len());
+        let bit = rng.index(8);
+        stream[byte] ^= 1 << bit;
+        let decoded = frame::decode_stream(&stream);
+        // Every payload that still decodes must be one of the originals:
+        // a flip either leaves a frame untouched-equivalent or gets the
+        // frame rejected — it never yields a novel payload.
+        for p in &decoded.payloads {
+            assert!(
+                payloads.iter().any(|orig| orig == p),
+                "case {case}: misparsed {p:?}"
+            );
+        }
+        assert!(decoded.payloads.len() <= payloads.len(), "case {case}");
+    }
+}
+
+#[test]
+fn frame_concatenation_decodes_both_streams() {
+    for case in 0..CASES {
+        let mut rng = case_rng(103, case);
+        let (a, pa) = any_stream(&mut rng, 5);
+        let (b, pb) = any_stream(&mut rng, 5);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let decoded = frame::decode_stream(&joined);
+        let expected: Vec<String> = pa.iter().chain(&pb).cloned().collect();
+        assert_eq!(decoded.payloads, expected, "case {case}");
+        assert_eq!(decoded.rejected, 0, "case {case}");
+        assert!(!decoded.truncated_tail, "case {case}");
     }
 }

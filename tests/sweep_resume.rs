@@ -1,0 +1,138 @@
+//! Crash-safe resume of streamed sweeps: kill a sweep mid-write (simulated
+//! by truncating a shard inside a record and deleting another shard
+//! outright), resume with the same matrix, and verify that only the missing
+//! cells re-run and the final report is byte-for-byte the uninterrupted
+//! sweep's.
+
+use std::path::PathBuf;
+
+use spcp::harness::spool::{self, SpoolError};
+use spcp::harness::{RunMatrix, StreamConfig, SweepEngine};
+use spcp::system::{PredictorKind, ProtocolKind};
+use spcp::workloads::suite;
+
+/// 2 benchmarks × 3 protocols × 2 seeds = 12 runs.
+fn matrix_12() -> RunMatrix {
+    RunMatrix::new()
+        .bench(suite::by_name("fft").unwrap())
+        .bench(suite::by_name("radix").unwrap())
+        .protocol("dir", ProtocolKind::Directory)
+        .protocol("bc", ProtocolKind::Broadcast)
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .seeds(&[7, 11])
+}
+
+struct Spool(PathBuf);
+
+impl Spool {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spcp-resume-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Spool(dir)
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Counts the complete records currently recoverable from the spool.
+fn recoverable(dir: &std::path::Path, fingerprint: u64) -> usize {
+    let shards = spool::shard_files(dir).expect("list shards");
+    let mut merge = spool::SpoolMerge::open(&shards, fingerprint).expect("open shards");
+    let mut n = 0;
+    while merge.next().expect("merge").is_some() {
+        n += 1;
+    }
+    n
+}
+
+#[test]
+fn kill_then_resume_is_bit_identical_to_uninterrupted() {
+    let matrix = matrix_12();
+
+    // The uninterrupted reference sweep.
+    let clean = Spool::new("clean");
+    let uninterrupted = SweepEngine::new(4)
+        .run_streamed(&matrix, &StreamConfig::new(&clean.0))
+        .expect("reference sweep");
+    let reference_render = uninterrupted.render_golden().expect("replay");
+    let reference_summary = uninterrupted.summary().expect("replay");
+
+    // The "crashed" sweep: run to completion, then damage the spool the
+    // way a mid-write kill would — one shard loses bytes inside its last
+    // record (torn frame), another disappears entirely (never flushed).
+    let crashed = Spool::new("crashed");
+    let first = SweepEngine::new(4)
+        .run_streamed(&matrix, &StreamConfig::new(&crashed.0))
+        .expect("first sweep");
+    assert_eq!(first.executed, 12);
+    let fingerprint = first.fingerprint();
+
+    let shards = spool::shard_files(&crashed.0).expect("list shards");
+    assert!(shards.len() >= 2, "4 workers over 12 runs make >=2 shards");
+    // Tear the tail record of the first shard: cut inside the frame, not
+    // at the line boundary.
+    let torn = &shards[0];
+    let bytes = std::fs::read(torn).expect("read shard");
+    assert!(bytes.ends_with(b"\n"));
+    std::fs::write(torn, &bytes[..bytes.len() - 7]).expect("truncate shard");
+    // Drop the last shard wholesale.
+    std::fs::remove_file(shards.last().unwrap()).expect("remove shard");
+
+    let survivors = recoverable(&crashed.0, fingerprint);
+    assert!(survivors < 12, "the damage must lose at least one record");
+
+    // Fresh mode refuses the dirty directory...
+    let fresh = SweepEngine::new(4).run_streamed(&matrix, &StreamConfig::new(&crashed.0));
+    assert!(matches!(fresh, Err(SpoolError::NotEmpty { .. })));
+
+    // ...resume re-runs exactly the missing cells...
+    let resumed = SweepEngine::new(4)
+        .run_streamed(&matrix, &StreamConfig::new(&crashed.0).resume(true))
+        .expect("resumed sweep");
+    assert_eq!(resumed.resumed, survivors);
+    assert_eq!(resumed.executed, 12 - survivors);
+
+    // ...and the final report is byte-for-byte the uninterrupted one's.
+    assert_eq!(resumed.render_golden().expect("replay"), reference_render);
+    assert_eq!(resumed.summary().expect("replay"), reference_summary);
+}
+
+#[test]
+fn resume_after_clean_completion_executes_nothing() {
+    let matrix = matrix_12();
+    let spool = Spool::new("noop");
+    let first = SweepEngine::new(2)
+        .run_streamed(&matrix, &StreamConfig::new(&spool.0))
+        .expect("first sweep");
+    let render = first.render_golden().expect("replay");
+
+    let again = SweepEngine::new(2)
+        .run_streamed(&matrix, &StreamConfig::new(&spool.0).resume(true))
+        .expect("resume");
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.resumed, 12);
+    assert_eq!(again.render_golden().expect("replay"), render);
+}
+
+#[test]
+fn resume_rejects_a_different_matrix() {
+    let spool = Spool::new("mismatch");
+    SweepEngine::new(2)
+        .run_streamed(&matrix_12(), &StreamConfig::new(&spool.0))
+        .expect("first sweep");
+
+    // Same shape, different seed set: a different experiment entirely.
+    let other = RunMatrix::new()
+        .bench(suite::by_name("fft").unwrap())
+        .bench(suite::by_name("radix").unwrap())
+        .protocol("dir", ProtocolKind::Directory)
+        .protocol("bc", ProtocolKind::Broadcast)
+        .protocol("sp", ProtocolKind::Predicted(PredictorKind::sp_default()))
+        .seeds(&[13, 17]);
+    let err = SweepEngine::new(2).run_streamed(&other, &StreamConfig::new(&spool.0).resume(true));
+    assert!(matches!(err, Err(SpoolError::MatrixMismatch { .. })));
+}
