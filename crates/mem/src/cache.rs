@@ -1,4 +1,10 @@
 //! Generic set-associative cache with true-LRU replacement.
+//!
+//! The store is structure-of-arrays: per set, a packed lane of tags plus a
+//! validity bitmask is scanned before any payload is touched, so the
+//! per-access tag match walks contiguous `u64`s — the same discipline a
+//! hardware tag array imposes — instead of striding over interleaved
+//! `(tag, payload, stamp)` records.
 
 use crate::addr::{BlockAddr, BLOCK_BYTES};
 
@@ -73,19 +79,24 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way<T> {
-    tag: BlockAddr,
-    payload: T,
-    stamp: u64,
-}
-
 /// A set-associative cache mapping [`BlockAddr`] to a caller-chosen payload
 /// with true-LRU replacement.
 ///
 /// The same structure backs the L1/L2 models (payload = MESIF state) and the
 /// finite-capacity predictor tables of the comparison study (payload =
 /// predictor entry).
+///
+/// # Layout
+///
+/// Ways are stored structure-of-arrays. Set `s` owns way slots
+/// `s * assoc .. (s + 1) * assoc` of three parallel arrays — `tags`
+/// (packed block indices), `stamps` (LRU clocks) and `payloads` — plus one
+/// validity bitmask word in `valid` (bit `w` set ⇔ way `w` resident). A
+/// lookup scans only the valid lanes of the contiguous tag array; payloads
+/// are touched exactly once, on the matching way. LRU refreshes are
+/// in-place stamp stores. The global stamp clock ticks on every demand
+/// access and insert, so resident stamps are pairwise distinct and LRU
+/// victim choice is order-independent.
 ///
 /// # Examples
 ///
@@ -99,7 +110,23 @@ struct Way<T> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<T> {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way<T>>>,
+    num_sets: usize,
+    /// `num_sets - 1` when the set count is a power of two (every standard
+    /// geometry): set selection is then a mask instead of a `u64` modulo.
+    /// `u64::MAX` marks a non-power-of-two count, which falls back to `%`.
+    set_mask: u64,
+    /// One validity bitmask per set; bit `w` covers way slot
+    /// `set * assoc + w`. Caps associativity at 64 ways.
+    valid: Vec<u64>,
+    /// Packed per-set tag lanes (block indices), `num_sets * assoc` long.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Payloads parallel to `tags`; `None` in invalid slots so evicted
+    /// payloads drop promptly.
+    payloads: Vec<Option<T>>,
+    /// Resident-line count (kept incrementally: `len` is O(1)).
+    lines: usize,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -107,15 +134,34 @@ pub struct SetAssocCache<T> {
 
 impl<T> SetAssocCache<T> {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry or associativity above 64 (the validity
+    /// bitmask is one `u64` per set).
     pub fn new(cfg: CacheConfig) -> Self {
         let num_sets = cfg.num_sets();
-        // Full associativity up front: sets never grow, so the demand
+        assert!(
+            cfg.assoc <= 64,
+            "associativity {} exceeds the 64-way bitmask lane",
+            cfg.assoc
+        );
+        let slots = num_sets * cfg.assoc;
+        // Full capacity up front: the arrays never grow, so the demand
         // insert/evict path stays allocation-free for the whole run.
         SetAssocCache {
             cfg,
-            sets: (0..num_sets)
-                .map(|_| Vec::with_capacity(cfg.assoc))
-                .collect(),
+            num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets as u64 - 1
+            } else {
+                u64::MAX
+            },
+            valid: vec![0; num_sets],
+            tags: vec![0; slots],
+            stamps: vec![0; slots],
+            payloads: (0..slots).map(|_| None).collect(),
+            lines: 0,
             clock: 0,
             hits: 0,
             misses: 0,
@@ -127,21 +173,56 @@ impl<T> SetAssocCache<T> {
         &self.cfg
     }
 
+    #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets.len() as u64) as usize
+        if self.set_mask != u64::MAX {
+            (block.index() & self.set_mask) as usize
+        } else {
+            (block.index() % self.num_sets as u64) as usize
+        }
+    }
+
+    /// The set a block maps to (exposed for audits and property tests).
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        self.set_index(block)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Scans set `set`'s packed tag lane for `tag`, returning the matching
+    /// way slot index into the parallel arrays. Touches no payload.
+    #[inline]
+    fn find_slot(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.cfg.assoc;
+        let mask = self.valid[set];
+        if mask == 0 {
+            return None;
+        }
+        // Linear scan over the packed tag lane: each compare is independent
+        // (no loop-carried dependency like a `trailing_zeros` bit walk), so
+        // the comparisons pipeline. The valid test guards stale tags left
+        // behind by `invalidate`.
+        let tags = &self.tags[base..base + self.cfg.assoc];
+        for (way, &t) in tags.iter().enumerate() {
+            if t == tag && mask & (1 << way) != 0 {
+                return Some(base + way);
+            }
+        }
+        None
     }
 
     /// Looks up a block, refreshing its LRU position on a hit.
     pub fn lookup(&mut self, block: BlockAddr) -> Option<&mut T> {
         self.clock += 1;
-        let clock = self.clock;
-        let idx = self.set_index(block);
-        let way = self.sets[idx].iter_mut().find(|w| w.tag == block);
-        match way {
-            Some(w) => {
+        let set = self.set_index(block);
+        match self.find_slot(set, block.index()) {
+            Some(slot) => {
                 self.hits += 1;
-                w.stamp = clock;
-                Some(&mut w.payload)
+                self.stamps[slot] = self.clock;
+                self.payloads[slot].as_mut()
             }
             None => {
                 self.misses += 1;
@@ -153,20 +234,16 @@ impl<T> SetAssocCache<T> {
     /// Looks up a block without touching LRU state or hit/miss counters
     /// (a coherence *probe*, as opposed to a demand access).
     pub fn probe(&self, block: BlockAddr) -> Option<&T> {
-        let idx = self.set_index(block);
-        self.sets[idx]
-            .iter()
-            .find(|w| w.tag == block)
-            .map(|w| &w.payload)
+        let set = self.set_index(block);
+        self.find_slot(set, block.index())
+            .and_then(|slot| self.payloads[slot].as_ref())
     }
 
     /// Mutable probe without LRU/counter side effects.
     pub fn probe_mut(&mut self, block: BlockAddr) -> Option<&mut T> {
-        let idx = self.set_index(block);
-        self.sets[idx]
-            .iter_mut()
-            .find(|w| w.tag == block)
-            .map(|w| &mut w.payload)
+        let set = self.set_index(block);
+        self.find_slot(set, block.index())
+            .and_then(|slot| self.payloads[slot].as_mut())
     }
 
     /// Inserts a block, returning the victim `(block, payload)` if a line
@@ -177,58 +254,68 @@ impl<T> SetAssocCache<T> {
     pub fn insert(&mut self, block: BlockAddr, payload: T) -> Option<(BlockAddr, T)> {
         self.clock += 1;
         let clock = self.clock;
-        let assoc = self.cfg.assoc;
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
+        let tag = block.index();
+        let set = self.set_index(block);
+        let base = set * self.cfg.assoc;
 
-        if let Some(w) = set.iter_mut().find(|w| w.tag == block) {
-            w.stamp = clock;
-            let old = std::mem::replace(&mut w.payload, payload);
+        if let Some(slot) = self.find_slot(set, tag) {
+            self.stamps[slot] = clock;
+            let old = self.payloads[slot].replace(payload).expect("valid slot");
             return Some((block, old));
         }
 
-        if set.len() < assoc {
-            set.push(Way {
-                tag: block,
-                payload,
-                stamp: clock,
-            });
+        let mask = self.valid[set];
+        let full_mask = if self.cfg.assoc == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.assoc) - 1
+        };
+        let full = mask == full_mask;
+        if !full {
+            // First free way of the lane.
+            let way = (!mask).trailing_zeros() as usize;
+            let slot = base + way;
+            self.valid[set] |= 1 << way;
+            self.tags[slot] = tag;
+            self.stamps[slot] = clock;
+            self.payloads[slot] = Some(payload);
+            self.lines += 1;
             return None;
         }
 
-        // Evict the least recently used way.
-        let (victim_idx, _) = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.stamp)
-            .expect("non-empty set");
-        let victim = std::mem::replace(
-            &mut set[victim_idx],
-            Way {
-                tag: block,
-                payload,
-                stamp: clock,
-            },
-        );
-        Some((victim.tag, victim.payload))
+        // Evict the least recently used way. Stamps are globally unique
+        // (the clock ticks on every stamping operation), so the minimum is
+        // unique and slot order cannot influence the choice.
+        let mut victim = base;
+        for slot in base + 1..base + self.cfg.assoc {
+            if self.stamps[slot] < self.stamps[victim] {
+                victim = slot;
+            }
+        }
+        let victim_tag = BlockAddr::from_index(self.tags[victim]);
+        let old = self.payloads[victim].replace(payload).expect("full set");
+        self.tags[victim] = tag;
+        self.stamps[victim] = clock;
+        Some((victim_tag, old))
     }
 
     /// Removes a block, returning its payload if it was present.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<T> {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|w| w.tag == block)?;
-        Some(set.swap_remove(pos).payload)
+        let set = self.set_index(block);
+        let slot = self.find_slot(set, block.index())?;
+        self.valid[set] &= !(1 << (slot - set * self.cfg.assoc));
+        self.lines -= 1;
+        self.payloads[slot].take()
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lines
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.lines == 0
     }
 
     /// Demand-access hits so far.
@@ -244,16 +331,105 @@ impl<T> SetAssocCache<T> {
     /// Iterates over all resident `(block, payload)` pairs in unspecified
     /// order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &T)> {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter().map(|w| (w.tag, &w.payload)))
+        self.valid.iter().enumerate().flat_map(move |(set, &mask)| {
+            let base = set * self.cfg.assoc;
+            let mut m = mask;
+            std::iter::from_fn(move || {
+                if m == 0 {
+                    return None;
+                }
+                let way = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let slot = base + way;
+                Some((
+                    BlockAddr::from_index(self.tags[slot]),
+                    self.payloads[slot].as_ref().expect("valid slot"),
+                ))
+            })
+        })
+    }
+
+    /// Resident `(block, lru_stamp)` pairs of one set, in way-slot order.
+    ///
+    /// Introspection hook for the invariant audits and the differential
+    /// test harness; not part of the timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_ways(&self, set: usize) -> impl Iterator<Item = (BlockAddr, u64)> + '_ {
+        assert!(set < self.num_sets, "set {set} of {}", self.num_sets);
+        let base = set * self.cfg.assoc;
+        let mut mask = self.valid[set];
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let slot = base + way;
+            Some((BlockAddr::from_index(self.tags[slot]), self.stamps[slot]))
+        })
     }
 
     /// Removes every line.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
+        self.valid.fill(0);
+        for p in &mut self.payloads {
+            *p = None;
         }
+        self.lines = 0;
+    }
+
+    /// Checks the SoA bookkeeping: the validity bitmasks agree with the
+    /// payload slots and the resident-line counter, no mask bit exceeds
+    /// the associativity, and resident tags are unique within their set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn audit(&self) -> Result<(), String> {
+        let assoc = self.cfg.assoc;
+        let mut lines = 0usize;
+        for set in 0..self.num_sets {
+            let mask = self.valid[set];
+            if assoc < 64 && mask >> assoc != 0 {
+                return Err(format!(
+                    "set {set}: valid mask {mask:#x} beyond {assoc} ways"
+                ));
+            }
+            lines += mask.count_ones() as usize;
+            for way in 0..assoc {
+                let slot = set * assoc + way;
+                let bit = mask & (1 << way) != 0;
+                if bit != self.payloads[slot].is_some() {
+                    return Err(format!(
+                        "set {set} way {way}: valid bit {bit} but payload present = {}",
+                        self.payloads[slot].is_some()
+                    ));
+                }
+                if bit && self.set_index(BlockAddr::from_index(self.tags[slot])) != set {
+                    return Err(format!(
+                        "set {set} way {way}: tag {} maps elsewhere",
+                        self.tags[slot]
+                    ));
+                }
+            }
+            for (i, (a, _)) in self.set_ways(set).enumerate() {
+                for (b, _) in self.set_ways(set).skip(i + 1) {
+                    if a == b {
+                        return Err(format!("set {set}: duplicate resident tag {a:?}"));
+                    }
+                }
+            }
+        }
+        if lines != self.lines {
+            return Err(format!(
+                "resident counter {} disagrees with masks ({lines})",
+                self.lines
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -377,6 +553,70 @@ mod tests {
         c.insert(blk(0), 0);
         c.clear();
         assert!(c.is_empty());
+        assert!(c.audit().is_ok());
+    }
+
+    #[test]
+    fn reuse_of_invalidated_way_keeps_lane_consistent() {
+        let mut c = tiny(4, 1);
+        for i in 0..4 {
+            c.insert(blk(i), i);
+        }
+        // Free way 1 (block 1), then insert: the freed lane is reused.
+        c.invalidate(blk(1));
+        assert!(c.insert(blk(9), 9).is_none(), "freed way absorbs insert");
+        assert_eq!(c.len(), 4);
+        assert!(c.audit().is_ok());
+        // Next insert must evict the oldest remaining stamp: block 0.
+        let victim = c.insert(blk(13), 13).unwrap();
+        assert_eq!(victim, (blk(0), 0));
+        assert!(c.audit().is_ok());
+    }
+
+    #[test]
+    fn set_ways_reports_resident_stamps() {
+        let mut c = tiny(2, 1);
+        c.insert(blk(0), 0);
+        c.insert(blk(1), 1);
+        c.lookup(blk(0));
+        let ways: Vec<(BlockAddr, u64)> = c.set_ways(0).collect();
+        assert_eq!(ways.len(), 2);
+        let s0 = ways.iter().find(|(b, _)| *b == blk(0)).unwrap().1;
+        let s1 = ways.iter().find(|(b, _)| *b == blk(1)).unwrap().1;
+        assert!(s0 > s1, "refreshed way carries the newer stamp");
+    }
+
+    #[test]
+    fn full_width_64_way_set_works() {
+        let mut c = tiny(64, 1);
+        for i in 0..64 {
+            assert!(c.insert(blk(i), i).is_none());
+        }
+        assert_eq!(c.len(), 64);
+        let victim = c.insert(blk(64), 64).unwrap();
+        assert_eq!(victim.0, blk(0));
+        assert!(c.audit().is_ok());
+    }
+
+    #[test]
+    fn audit_accepts_random_churn() {
+        let mut c = tiny(4, 4);
+        // A deterministic little churn loop: insert/lookup/invalidate.
+        for i in 0..200u64 {
+            let b = blk(i * 7 % 32);
+            match i % 3 {
+                0 => {
+                    c.insert(b, i);
+                }
+                1 => {
+                    c.lookup(b);
+                }
+                _ => {
+                    c.invalidate(b);
+                }
+            }
+            c.audit().expect("bookkeeping stays consistent");
+        }
     }
 
     #[test]
@@ -390,5 +630,11 @@ mod tests {
             data_cycles: 1,
         }
         .num_sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 64-way bitmask lane")]
+    fn over_wide_associativity_rejected() {
+        let _ = tiny(128, 1);
     }
 }

@@ -1,7 +1,9 @@
 //! The timed network fabric: wormhole-approximate contention, bandwidth and
 //! energy accounting.
 
-use crate::mesh::{Link, Mesh};
+#[cfg(test)]
+use crate::mesh::Link;
+use crate::mesh::{Coord, Direction, Mesh};
 use crate::message::MsgKind;
 use spcp_sim::{CoreId, Cycle};
 
@@ -134,6 +136,18 @@ pub struct Fabric {
     /// `(node × 4 + direction) × vcs + vc`: no hashing, no per-link heap
     /// allocation, and `reset` is a `fill`.
     link_free: Vec<Cycle>,
+    /// Per-link last-commit watermark: the latest reservation end ever
+    /// written to any VC of the link. Every commit raises it, so no VC
+    /// slot may hold a cycle beyond it — the invariant [`Fabric::audit`]
+    /// checks after batched route commits.
+    last_commit: Vec<Cycle>,
+    /// Scratch for the batched reservation path: the dense link index
+    /// (`node × 4 + direction`) of every hop of the current route, in
+    /// travel order. A link's VC slot base is `link × vcs`, so staging
+    /// indices instead of bases keeps the commit pass free of divisions.
+    /// Reused across sends — capacity stabilizes at the mesh diameter,
+    /// keeping the hot path allocation-free.
+    route_links: Vec<usize>,
     stats: NocStats,
 }
 
@@ -145,13 +159,17 @@ impl Fabric {
             mesh: Mesh::new(cfg.width, cfg.height),
             vcs,
             link_free: vec![Cycle::ZERO; cfg.nodes() * 4 * vcs],
+            last_commit: vec![Cycle::ZERO; cfg.nodes() * 4],
+            route_links: Vec::with_capacity(cfg.width + cfg.height),
             cfg,
             stats: NocStats::default(),
         }
     }
 
-    /// Start of `link`'s VC slot range inside `link_free`.
-    #[inline]
+    /// Start of `link`'s VC slot range inside `link_free`. The batched
+    /// path derives bases from staged link indices instead; this per-link
+    /// derivation remains the oracle the staging tests check against.
+    #[cfg(test)]
     fn link_base(&self, link: Link) -> usize {
         debug_assert!(
             link.from < self.cfg.nodes() && link.dir.index() < 4,
@@ -188,6 +206,7 @@ impl Fabric {
     /// phases).
     pub fn reset(&mut self) {
         self.link_free.fill(Cycle::ZERO);
+        self.last_commit.fill(Cycle::ZERO);
         self.stats = NocStats::default();
     }
 
@@ -201,6 +220,12 @@ impl Fabric {
     /// Accounts bandwidth and energy, and models head-of-line link
     /// contention when enabled. A message to the local tile arrives
     /// immediately.
+    ///
+    /// Reservations are batched: [`Fabric::stage_route`] derives the VC
+    /// slot base of every hop of the X-Y route once — two strided
+    /// arithmetic legs, no per-hop `Link` construction or base re-derive —
+    /// and [`Fabric::commit_reservations`] then commits all hops in a
+    /// single pass over `link_free`.
     pub fn send(&mut self, src: CoreId, dst: CoreId, kind: MsgKind, depart: Cycle) -> Cycle {
         let bytes = kind.bytes();
         self.stats.messages += 1;
@@ -210,8 +235,9 @@ impl Fabric {
             return depart;
         }
 
-        let route = self.mesh.route_iter(src, dst);
-        let hops = route.len() as u64;
+        let a = self.mesh.coord_of(src);
+        let b = self.mesh.coord_of(dst);
+        let hops = (a.x.abs_diff(b.x) + a.y.abs_diff(b.y)) as u64;
         self.stats.byte_hops += bytes * hops;
         if !kind.carries_data() {
             self.stats.ctrl_byte_hops += bytes * hops;
@@ -221,27 +247,105 @@ impl Fabric {
             * hops as f64
             * (self.cfg.link_energy_per_byte + self.cfg.router_energy_per_byte);
 
+        if !self.cfg.model_contention {
+            // Pure pipeline latency; no reservation state to touch.
+            return depart + hops * (self.cfg.router_cycles + self.cfg.link_cycles);
+        }
+
         let flits = self.flits(bytes);
+        self.stage_route(a, b);
+        self.commit_reservations(depart, flits)
+    }
+
+    /// Pass 1 of the batched reservation: fills `route_links` with the
+    /// dense link index of every hop of the X-Y route `a → b`, in travel
+    /// order.
+    ///
+    /// Adjacent hops of a leg differ by a fixed stride (±4 along a row,
+    /// ±`4 × width` along a column), so the whole list is two strided
+    /// walks — no per-hop `Link` construction or coordinate math.
+    #[inline]
+    fn stage_route(&mut self, a: Coord, b: Coord) {
+        self.route_links.clear();
+        let width = self.cfg.width;
+        if b.x != a.x {
+            let east = b.x > a.x;
+            let dir = if east {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            let mut link = (a.y * width + a.x) * 4 + dir.index();
+            for _ in 0..a.x.abs_diff(b.x) {
+                self.route_links.push(link);
+                if east {
+                    link += 4;
+                } else {
+                    link -= 4;
+                }
+            }
+        }
+        if b.y != a.y {
+            let north = b.y > a.y;
+            let dir = if north {
+                Direction::North
+            } else {
+                Direction::South
+            };
+            let mut link = (a.y * width + b.x) * 4 + dir.index();
+            let col_stride = 4 * width;
+            for _ in 0..a.y.abs_diff(b.y) {
+                self.route_links.push(link);
+                if north {
+                    link += col_stride;
+                } else {
+                    link -= col_stride;
+                }
+            }
+        }
+    }
+
+    /// Pass 2 of the batched reservation: commits every staged hop in one
+    /// pass over `link_free`, returning the head flit's arrival time.
+    ///
+    /// Commits are sequential — each hop re-reads its link's slots at
+    /// commit time rather than using values captured during staging — so
+    /// a route that crosses the same link twice correctly queues its
+    /// second crossing behind its first (see the regression test below;
+    /// X-Y routing never produces such a route, but the commit protocol
+    /// must not silently depend on that). Every commit also raises the
+    /// link's `last_commit` watermark, which [`Fabric::audit`] checks
+    /// against the slot table after a run.
+    #[inline]
+    fn commit_reservations(&mut self, depart: Cycle, flits: u64) -> Cycle {
+        let hold = flits * self.cfg.link_cycles;
         let mut head = depart;
-        for link in route {
+        for i in 0..self.route_links.len() {
+            let link = self.route_links[i];
+            let base = link * self.vcs;
+            debug_assert!(
+                base + self.vcs <= self.link_free.len(),
+                "staged VC slot range [{base}, {}) exceeds reservation table of {}",
+                base + self.vcs,
+                self.link_free.len()
+            );
             // Router pipeline for the head flit.
             head += self.cfg.router_cycles;
-            if self.cfg.model_contention {
-                let base = self.link_base(link);
-                let slots = &mut self.link_free[base..base + self.vcs];
-                // Grab the earliest-free virtual channel (first on ties).
-                let slot = slots
-                    .iter_mut()
-                    .min_by_key(|c| **c)
-                    .expect("at least one VC");
-                if *slot > head {
-                    self.stats.contention_cycles += (*slot - head).as_u64();
-                    head = *slot;
-                }
-                // The channel is busy for the serialization time of the
-                // body.
-                *slot = head + flits * self.cfg.link_cycles;
+            let slots = &mut self.link_free[base..base + self.vcs];
+            // Grab the earliest-free virtual channel (first on ties).
+            let slot = slots
+                .iter_mut()
+                .min_by_key(|c| **c)
+                .expect("at least one VC");
+            if *slot > head {
+                self.stats.contention_cycles += (*slot - head).as_u64();
+                head = *slot;
             }
+            // The channel is busy for the serialization time of the body.
+            let end = head + hold;
+            *slot = end;
+            let mark = &mut self.last_commit[link];
+            *mark = (*mark).max(end);
             head += self.cfg.link_cycles;
         }
         head
@@ -297,9 +401,15 @@ impl Fabric {
     }
 
     /// Audits the fabric's internal accounting: the VC reservation table
-    /// has exactly `nodes × 4 directions × vcs` slots, and the traffic
-    /// counters are mutually consistent. Cheap (O(1) plus a few compares),
-    /// so the runtime invariant layer can call it per transaction.
+    /// has exactly `nodes × 4 directions × vcs` slots, the traffic
+    /// counters are mutually consistent, and the batched reservation pass
+    /// left no VC slot holding a cycle beyond its link's last-commit
+    /// watermark. Slots only ever move forward via commits and every
+    /// commit raises the watermark, so a slot ahead of it means a staged
+    /// reservation bypassed the commit bookkeeping (e.g. a stale base
+    /// captured before an earlier hop of the same route moved the link).
+    /// Cheap (one pass over the small slot table plus a few compares), so
+    /// the runtime invariant layer can call it per transaction.
     ///
     /// # Errors
     ///
@@ -311,6 +421,23 @@ impl Fabric {
                 "VC reservation table has {} slots, geometry implies {want}",
                 self.link_free.len()
             ));
+        }
+        if self.last_commit.len() != self.cfg.nodes() * 4 {
+            return Err(format!(
+                "last-commit table has {} links, geometry implies {}",
+                self.last_commit.len(),
+                self.cfg.nodes() * 4
+            ));
+        }
+        for (slot, &free_at) in self.link_free.iter().enumerate() {
+            let link = slot / self.vcs;
+            if free_at > self.last_commit[link] {
+                return Err(format!(
+                    "VC slot {slot} free at {free_at}, beyond link {link}'s \
+                     last commit {}",
+                    self.last_commit[link]
+                ));
+            }
         }
         if self.vcs != self.cfg.virtual_channels.max(1) {
             return Err(format!(
@@ -554,5 +681,105 @@ mod tests {
     fn pipe_latency_matches_uncontended_send() {
         let f = fabric();
         assert_eq!(f.pipe_latency(6), 18);
+    }
+
+    #[test]
+    fn staged_bases_match_per_link_derivation() {
+        // The strided staging pass must agree with link_base over every
+        // route of a rectangular mesh (off the square 4×4 path).
+        let mut f = Fabric::new(NocConfig {
+            width: 5,
+            height: 3,
+            ..NocConfig::default()
+        });
+        for s in 0..15 {
+            for d in 0..15 {
+                let src = CoreId::new(s);
+                let dst = CoreId::new(d);
+                let a = f.mesh.coord_of(src);
+                let b = f.mesh.coord_of(dst);
+                f.stage_route(a, b);
+                let staged: Vec<usize> = f.route_links.iter().map(|&l| l * f.vcs).collect();
+                let expected: Vec<usize> = f
+                    .mesh
+                    .route(src, dst)
+                    .into_iter()
+                    .map(|l| f.link_base(l))
+                    .collect();
+                assert_eq!(staged, expected, "{s} -> {d}");
+            }
+        }
+    }
+
+    /// Regression for the per-hop path's edge case: a route crossing the
+    /// same link twice. X-Y routing cannot produce one, but the commit
+    /// protocol must stay sequential — a batched variant that captured
+    /// slot *values* during staging would hand both crossings the same
+    /// free cycle and lose the queueing. Seeded directly through the
+    /// staging scratch.
+    #[test]
+    fn duplicate_link_route_queues_second_crossing() {
+        let mut f = Fabric::new(NocConfig {
+            virtual_channels: 1,
+            ..NocConfig::default()
+        });
+        let base = f.link_base(Link {
+            from: 0,
+            dir: Direction::East,
+        });
+        let link = base / f.vcs;
+        f.route_links.clear();
+        f.route_links.push(link);
+        f.route_links.push(link);
+        // 4 flits hold the link 4 cycles per crossing (link_cycles = 1).
+        let arrival = f.commit_reservations(Cycle::ZERO, 4);
+        // Hop 1: router 2 → head 2, reserve [2, 6), link 1 → head 3.
+        // Hop 2: router 2 → head 5, slot busy until 6 → 1 contention
+        // cycle, reserve [6, 10), link 1 → arrival 7.
+        assert_eq!(arrival, Cycle::new(7));
+        assert_eq!(f.stats().contention_cycles, 1);
+        assert_eq!(f.link_free[base], Cycle::new(10));
+        assert_eq!(f.last_commit[link], Cycle::new(10));
+        f.audit()
+            .expect("sequential commit keeps the watermark exact");
+    }
+
+    #[test]
+    fn audit_catches_slot_beyond_watermark() {
+        let mut f = fabric();
+        f.send(
+            CoreId::new(0),
+            CoreId::new(3),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
+        f.audit().expect("clean run");
+        // Corrupt one reserved slot past its link's watermark: the audit
+        // must name it.
+        let base = f.link_base(Link {
+            from: 0,
+            dir: Direction::East,
+        });
+        let link = base / f.vcs;
+        f.link_free[base] = f.last_commit[link] + 1;
+        let err = f.audit().expect_err("corruption undetected");
+        assert!(
+            err.contains("last commit"),
+            "unexpected audit message: {err}"
+        );
+    }
+
+    #[test]
+    fn watermark_survives_reset() {
+        let mut f = fabric();
+        f.send(
+            CoreId::new(0),
+            CoreId::new(5),
+            MsgKind::DataResponse,
+            Cycle::ZERO,
+        );
+        f.reset();
+        assert!(f.last_commit.iter().all(|&c| c == Cycle::ZERO));
+        f.audit().expect("reset state is consistent");
     }
 }

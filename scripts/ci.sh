@@ -39,6 +39,11 @@ cargo test -q --offline --test golden_regression
 
 step "invariant layer: workspace tests with runtime audits compiled in"
 cargo test -q --offline --features invariants
+# The SoA/batched-reservation lockstep harness, explicitly, with audits on.
+cargo test -q --offline --features invariants --test soa_equivalence
+
+step "lockstep smoke with optimizations on (layout bugs surface in release)"
+cargo test -q --release --offline --test soa_equivalence
 
 step "streamed sweep smoke: spool to disk, golden-verify, idle resume"
 SPOOL="$(mktemp -d)"

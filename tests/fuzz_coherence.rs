@@ -262,7 +262,10 @@ fn prediction_accounting_is_consistent() {
 
 /// The runtime invariant layer (directory/cache agreement, NoC accounting,
 /// epoch-volume conservation after every transaction) accepts arbitrary
-/// well-formed programs under every protocol engine.
+/// well-formed programs under every protocol engine — at every cache
+/// associativity. Each case draws L1 and L2 associativities from
+/// {1, 2, 4, 8} so the SoA way layout (bitmask lanes, packed tag scans,
+/// stamp eviction) is audited off the paper's default geometry too.
 #[test]
 fn random_programs_pass_runtime_audits() {
     if !spcp::system::invariants_compiled() {
@@ -274,15 +277,23 @@ fn random_programs_pass_runtime_audits() {
         let mut rng = case_rng(6, case);
         let program = random_program(&mut rng, 4);
         let w = lower(&program, 4);
+        // 16 KB L1 and 1 MB L2 divide evenly at every width, so only the
+        // way count (and thus set count) changes, never capacity.
+        let mut machine = small_machine();
+        machine.l1.assoc = *rng.pick(&[1usize, 2, 4, 8]);
+        machine.l2.assoc = *rng.pick(&[1usize, 2, 4, 8]);
         for proto in [
             ProtocolKind::Directory,
             ProtocolKind::Broadcast,
             ProtocolKind::Predicted(PredictorKind::sp_default()),
             ProtocolKind::MulticastSnoop(PredictorKind::sp_default()),
         ] {
-            let cfg = RunConfig::new(small_machine(), proto);
+            let cfg = RunConfig::new(machine.clone(), proto);
             if let Err(v) = CmpSystem::run_workload_checked(&w, &cfg) {
-                panic!("case {case}: {v}\nprogram: {program:?}");
+                panic!(
+                    "case {case} (l1 assoc {}, l2 assoc {}): {v}\nprogram: {program:?}",
+                    machine.l1.assoc, machine.l2.assoc
+                );
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Golden-snapshot regression tests: 10 benchmarks × 4 protocols at the
+//! Golden-snapshot regression tests: 12 benchmarks × 4 protocols at the
 //! fixed figure seed, snapshotted under `tests/golden/`. Any change to
 //! simulator behavior shows up as a precise line diff. The streamed
 //! (spooled-to-disk) sweep path must reproduce every golden byte for byte.
@@ -19,7 +19,7 @@ use spcp::harness::{golden, RunMatrix, StreamConfig, SweepEngine};
 use spcp::system::{PredictorKind, ProtocolKind};
 use spcp::workloads::suite;
 
-const GOLDEN_BENCHES: [&str; 10] = [
+const GOLDEN_BENCHES: [&str; 12] = [
     "fft",
     "lu",
     "x264",
@@ -30,6 +30,8 @@ const GOLDEN_BENCHES: [&str; 10] = [
     "fluidanimate",
     "raytrace",
     "vips",
+    "ferret",
+    "dedup",
 ];
 
 fn golden_dir() -> PathBuf {
@@ -108,6 +110,16 @@ fn golden_raytrace() {
 #[test]
 fn golden_vips() {
     check_bench(GOLDEN_BENCHES[9]);
+}
+
+#[test]
+fn golden_ferret() {
+    check_bench(GOLDEN_BENCHES[10]);
+}
+
+#[test]
+fn golden_dedup() {
+    check_bench(GOLDEN_BENCHES[11]);
 }
 
 /// The streamed (write-ahead spool) path reproduces every golden file byte

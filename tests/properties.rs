@@ -11,6 +11,9 @@ use spcp::noc::Mesh;
 use spcp::predict::CommCounters;
 use spcp::sim::{CoreId, CoreSet, Cycle, DetRng, EventQueue};
 
+mod common;
+use common::RefCache;
+
 /// Cases per randomized test.
 const CASES: u64 = 64;
 const PROP_SEED: u64 = 0x9d0b_5eed;
@@ -196,6 +199,165 @@ fn cache_agrees_with_reference_lru() {
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want, "case {case}");
+    }
+}
+
+// ---------------- Cache LRU invariants (SoA and reference) ----------------
+//
+// The same three invariants are checked against the SoA `SetAssocCache`
+// (through its `set_ways` introspection) and the pre-SoA reference model
+// (`tests/common/mod.rs`) independently, so a violation pinpoints which
+// implementation drifted.
+
+/// A small random geometry plus an op stream applied to both caches.
+fn churned_pair(rng: &mut DetRng, ops: usize) -> (SetAssocCache<u64>, RefCache<u64>) {
+    let assoc = *rng.pick(&[1usize, 2, 4, 8]);
+    let sets = *rng.pick(&[2usize, 3, 4, 8]);
+    let cfg = CacheConfig {
+        size_bytes: (assoc * sets) as u64 * BLOCK_BYTES,
+        assoc,
+        block_bytes: BLOCK_BYTES,
+        tag_cycles: 1,
+        data_cycles: 1,
+    };
+    let mut soa: SetAssocCache<u64> = SetAssocCache::new(cfg);
+    let mut aos: RefCache<u64> = RefCache::new(cfg);
+    let universe = (assoc * sets) as u64 * 3;
+    for _ in 0..ops {
+        let b = BlockAddr::from_index(rng.range(0, universe));
+        match rng.index(3) {
+            0 => {
+                let v = rng.range(0, 1 << 20);
+                soa.insert(b, v);
+                aos.insert(b, v);
+            }
+            1 => {
+                soa.lookup(b);
+                aos.lookup(b);
+            }
+            _ => {
+                soa.invalidate(b);
+                aos.invalidate(b);
+            }
+        }
+    }
+    (soa, aos)
+}
+
+/// Sorting a set's ways by LRU stamp permutes exactly its resident ways:
+/// stamps are pairwise distinct (the global clock ticks on every stamping
+/// op) and the stamp-ordered list holds the same blocks, each once.
+#[test]
+fn cache_lru_order_is_permutation_of_resident_ways() {
+    for case in 0..CASES {
+        let mut rng = case_rng(41, case);
+        let ops = rng.range(50, 400) as usize;
+        let (soa, aos) = churned_pair(&mut rng, ops);
+        let mut soa_total = 0;
+        for set in 0..soa.num_sets() {
+            let ways: Vec<(BlockAddr, u64)> = soa.set_ways(set).collect();
+            soa_total += ways.len();
+            let mut by_stamp = ways.clone();
+            by_stamp.sort_by_key(|&(_, stamp)| stamp);
+            let mut blocks: Vec<BlockAddr> = ways.iter().map(|&(b, _)| b).collect();
+            let mut permuted: Vec<BlockAddr> = by_stamp.iter().map(|&(b, _)| b).collect();
+            blocks.sort_by_key(|b| b.index());
+            permuted.sort_by_key(|b| b.index());
+            assert_eq!(blocks, permuted, "case {case} set {set}: permutation");
+            for w in by_stamp.windows(2) {
+                assert!(w[0].1 < w[1].1, "case {case} set {set}: stamp collision");
+            }
+        }
+        assert_eq!(soa_total, soa.len(), "case {case}: occupancy");
+        let mut aos_total = 0;
+        for set in 0..aos.num_sets() {
+            let mut ways = aos.set_ways(set);
+            aos_total += ways.len();
+            ways.sort_by_key(|&(_, stamp)| stamp);
+            for w in ways.windows(2) {
+                assert!(
+                    w[0].1 < w[1].1,
+                    "case {case} set {set}: ref stamp collision"
+                );
+            }
+        }
+        assert_eq!(aos_total, aos.len(), "case {case}: ref occupancy");
+    }
+}
+
+/// When a full set takes a new block, the victim is always the resident
+/// way with the oldest (minimum) LRU stamp.
+#[test]
+fn cache_eviction_selects_oldest_stamp() {
+    for case in 0..CASES {
+        let mut rng = case_rng(42, case);
+        let warmup = rng.range(20, 200) as usize;
+        let (mut soa, mut aos) = churned_pair(&mut rng, warmup);
+        let universe = soa.num_sets() as u64 * soa.config().assoc as u64 * 3;
+        let mut evictions = 0;
+        for i in 0..200 {
+            let b = BlockAddr::from_index(rng.range(0, universe));
+            let assoc = soa.config().assoc;
+            let set = soa.set_of(b);
+            let ways: Vec<(BlockAddr, u64)> = soa.set_ways(set).collect();
+            let expect_evict = ways.len() == assoc && !ways.iter().any(|&(w, _)| w == b);
+            let oldest = ways
+                .iter()
+                .min_by_key(|&&(_, stamp)| stamp)
+                .map(|&(w, _)| w);
+            let ref_oldest = aos
+                .set_ways(set)
+                .into_iter()
+                .min_by_key(|&(_, stamp)| stamp)
+                .map(|(w, _)| BlockAddr::from_index(w));
+            assert_eq!(oldest, ref_oldest, "case {case} insert {i}: oldest way");
+            let v = rng.range(0, 1 << 20);
+            let victim = soa.insert(b, v);
+            let ref_victim = aos.insert(b, v);
+            assert_eq!(victim, ref_victim, "case {case} insert {i}");
+            if expect_evict {
+                evictions += 1;
+                assert_eq!(
+                    victim.map(|(w, _)| w),
+                    oldest,
+                    "case {case} insert {i}: victim is not the oldest stamp"
+                );
+            }
+        }
+        assert!(evictions > 0, "case {case}: stream never filled a set");
+    }
+}
+
+/// `lookup` — hit or miss — never changes which blocks are resident.
+#[test]
+fn cache_lookup_never_changes_occupancy() {
+    for case in 0..CASES {
+        let mut rng = case_rng(43, case);
+        let warmup = rng.range(20, 300) as usize;
+        let (mut soa, mut aos) = churned_pair(&mut rng, warmup);
+        let universe = soa.num_sets() as u64 * soa.config().assoc as u64 * 3;
+        for i in 0..100 {
+            let b = BlockAddr::from_index(rng.range(0, universe));
+            let before: Vec<(u64, u64)> = (0..soa.num_sets())
+                .flat_map(|s| soa.set_ways(s).collect::<Vec<_>>())
+                .map(|(blk, _)| (blk.index(), 0))
+                .collect();
+            let ref_before = aos.len();
+            let hit = soa.lookup(b).is_some();
+            let ref_hit = aos.lookup(b).is_some();
+            assert_eq!(hit, ref_hit, "case {case} lookup {i}");
+            let after: Vec<(u64, u64)> = (0..soa.num_sets())
+                .flat_map(|s| soa.set_ways(s).collect::<Vec<_>>())
+                .map(|(blk, _)| (blk.index(), 0))
+                .collect();
+            assert_eq!(before, after, "case {case} lookup {i}: resident set moved");
+            assert_eq!(
+                ref_before,
+                aos.len(),
+                "case {case} lookup {i}: ref occupancy"
+            );
+        }
+        assert!(soa.audit().is_ok(), "case {case}");
     }
 }
 
